@@ -1,0 +1,9 @@
+"""Benchmark: Table I workload-mix construction (deterministic)."""
+
+from repro.experiments import table1_workloads as module
+
+from conftest import run_and_check
+
+
+def test_table1(benchmark, params, mixes):
+    run_and_check(benchmark, module, params, mixes, required_pass=1.0)

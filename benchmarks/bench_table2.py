@@ -1,0 +1,9 @@
+"""Benchmark: Table II parameter reproduction (deterministic)."""
+
+from repro.experiments import table2_params as module
+
+from conftest import run_and_check
+
+
+def test_table2(benchmark, params, mixes):
+    run_and_check(benchmark, module, params, mixes, required_pass=1.0)

@@ -1,0 +1,50 @@
+"""Benchmark harness configuration.
+
+Each ``bench_<id>.py`` regenerates one paper artefact at reduced scale
+(quick SimParams, 3 Table I mixes) and asserts its shape checks.  A
+session-scoped scratch cache directory lets figures that share the
+simulation grid (8-17) reuse each other's runs *within* the session while
+still measuring real simulation work on first touch.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+from repro.experiments.common import SimParams
+
+_SCRATCH = tempfile.mkdtemp(prefix="repro-bench-cache-")
+os.environ["REPRO_CACHE_DIR"] = _SCRATCH
+
+#: mixes used by benchmark-scale experiment runs
+BENCH_MIXES = [1, 2, 3]
+
+
+@pytest.fixture(scope="session")
+def params() -> SimParams:
+    return SimParams.quick()
+
+
+@pytest.fixture(scope="session")
+def mixes() -> list[int]:
+    return BENCH_MIXES
+
+
+def run_and_check(benchmark, module, params, mixes, required_pass=1.0):
+    """Run one experiment under pytest-benchmark and verify its checks."""
+    out = {}
+
+    def once():
+        report, data, checks = module.run(params, mixes, jobs=0)
+        out["checks"] = checks
+        return data
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    checks = out["checks"]
+    passed = sum(1 for _d, ok in checks if ok)
+    assert passed >= required_pass * len(checks), (
+        f"{module.ID}: only {passed}/{len(checks)} shape checks passed: "
+        f"{[(d, ok) for d, ok in checks if not ok]}")

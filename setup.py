@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works in offline environments whose setuptools lacks PEP 660 editable-wheel
+support (no `wheel` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,314 @@
+"""Functional tag state of the DRAM cache (both organizations).
+
+This tracks *what is in the cache* — tags, valid, dirty, LRU stamps — so
+the controller can resolve hit/miss at tag-read completion time and find
+victims at fill time.  Timing lives entirely in the controller + DRAM
+substrate; this module is purely functional and therefore shared verbatim
+by every controller design (CD / ROD / DCA see identical contents).
+
+Sets are materialised lazily in a dict keyed by set index: simulated
+workloads touch a sparse subset of the geometry's sets, and small Python
+lists with linear scans over <= 15 ways beat NumPy row indexing at this
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.organizations import DirectMappedGeometry, SetAssociativeGeometry
+from repro.config import DRAMCacheGeometry
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a functional probe."""
+
+    hit: bool
+    way: int = -1            # way index (SA) / 0 (DM); -1 on miss
+    dirty: bool = False      # dirty state of the hit block
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Outcome of inserting a block: the displaced victim, if any."""
+
+    way: int
+    victim_block_addr: Optional[int] = None   # physical block addr of victim
+    victim_dirty: bool = False
+
+
+class _SASet:
+    """One set of the set-associative organization."""
+
+    __slots__ = ("tags", "dirty", "stamp")
+
+    def __init__(self, ways: int):
+        self.tags: list[int] = [-1] * ways
+        self.dirty: list[bool] = [False] * ways
+        self.stamp: list[int] = [0] * ways   # LRU: larger = more recent
+
+
+class DRAMCacheArray:
+    """Functional contents of the DRAM cache.
+
+    Parameters
+    ----------
+    geometry:
+        Raw capacity/layout description (Table II).
+    organization:
+        ``"sa"`` (set-associative, Loh–Hill) or ``"dm"`` (direct-mapped,
+        Alloy).
+    """
+
+    def __init__(self, geometry: DRAMCacheGeometry, organization: str = "sa"):
+        organization = organization.lower()
+        if organization not in ("sa", "dm"):
+            raise ValueError(f"unknown organization {organization!r}")
+        self.geometry = geometry
+        self.organization = organization
+        self.sa = SetAssociativeGeometry(geometry)
+        self.dm = DirectMappedGeometry(geometry)
+        # Lazy state.
+        self._sa_sets: dict[int, _SASet] = {}
+        self._dm_entries: dict[int, tuple[int, bool]] = {}  # idx -> (tag, dirty)
+        self._clock = 0  # LRU stamp source
+        # Functional counters (used by tests and the Fig. 18 harness).
+        self.lookups = 0
+        self.hits = 0
+        self.fills = 0
+        self.dirty_evictions = 0
+
+    # -- common helpers --------------------------------------------------------
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.organization == "dm"
+
+    def _block(self, addr: int) -> int:
+        return addr // self.geometry.block_bytes
+
+    # -- probes (no replacement-state side effects) ----------------------------
+
+    def probe(self, addr: int) -> LookupResult:
+        """Hit/miss/dirty query with no state change."""
+        b = self._block(addr)
+        if self.is_direct_mapped:
+            idx = self.dm.entry_index(b)
+            ent = self._dm_entries.get(idx)
+            if ent is not None and ent[0] == self.dm.tag_value(b):
+                return LookupResult(True, 0, ent[1])
+            return LookupResult(False)
+        s = self._sa_sets.get(self.sa.set_index(b))
+        if s is None:
+            return LookupResult(False)
+        tag = self.sa.tag_value(b)
+        for w, t in enumerate(s.tags):
+            if t == tag:
+                return LookupResult(True, w, s.dirty[w])
+        return LookupResult(False)
+
+    # -- timed-path operations (called at access completion times) -------------
+
+    def lookup_read(self, addr: int) -> LookupResult:
+        """Resolve a cache-read tag check; updates LRU on a hit.
+
+        In the real system the LRU/replacement-bit update is carried by the
+        WTr tag-write access; functionally we apply it here so the state the
+        *next* tag read observes matches what that write will have stored.
+        """
+        self.lookups += 1
+        res = self.probe(addr)
+        if res.hit:
+            self.hits += 1
+            self._touch(addr, res.way)
+        return res
+
+    def lookup_write(self, addr: int) -> LookupResult:
+        """Resolve a writeback tag check; marks dirty + LRU on a hit."""
+        self.lookups += 1
+        res = self.probe(addr)
+        if res.hit:
+            self.hits += 1
+            b = self._block(addr)
+            if self.is_direct_mapped:
+                idx = self.dm.entry_index(b)
+                self._dm_entries[idx] = (self.dm.tag_value(b), True)
+            else:
+                s = self._sa_sets[self.sa.set_index(b)]
+                s.dirty[res.way] = True
+                self._touch(addr, res.way)
+        return res
+
+    def fill(self, addr: int, dirty: bool) -> FillResult:
+        """Insert ``addr`` (refill from memory, or allocating writeback).
+
+        Returns the victim (if a valid block was displaced) so the caller
+        can generate the victim's main-memory writeback when it was dirty.
+        """
+        self.fills += 1
+        b = self._block(addr)
+        if self.is_direct_mapped:
+            idx = self.dm.entry_index(b)
+            old = self._dm_entries.get(idx)
+            self._dm_entries[idx] = (self.dm.tag_value(b), dirty)
+            if old is None:
+                return FillResult(0)
+            victim_addr = self.dm.block_addr(idx, old[0]) * self.geometry.block_bytes
+            if old[1]:
+                self.dirty_evictions += 1
+            return FillResult(0, victim_addr, old[1])
+
+        set_idx = self.sa.set_index(b)
+        s = self._sa_sets.get(set_idx)
+        if s is None:
+            s = _SASet(self.sa.ways)
+            self._sa_sets[set_idx] = s
+        tag = self.sa.tag_value(b)
+        # Refill of a block already present (e.g. race with a concurrent
+        # writeback-allocate) just refreshes it.
+        for w, t in enumerate(s.tags):
+            if t == tag:
+                s.dirty[w] = s.dirty[w] or dirty
+                self._touch(addr, w)
+                return FillResult(w)
+        # Prefer an invalid way; otherwise evict LRU.
+        victim_way = -1
+        for w, t in enumerate(s.tags):
+            if t == -1:
+                victim_way = w
+                break
+        if victim_way < 0:
+            victim_way = min(range(self.sa.ways), key=lambda w: s.stamp[w])
+        old_tag = s.tags[victim_way]
+        old_dirty = s.dirty[victim_way]
+        s.tags[victim_way] = tag
+        s.dirty[victim_way] = dirty
+        self._clock += 1
+        s.stamp[victim_way] = self._clock
+        if old_tag == -1:
+            return FillResult(victim_way)
+        victim_addr = self.sa.block_addr(set_idx, old_tag) * self.geometry.block_bytes
+        if old_dirty:
+            self.dirty_evictions += 1
+        return FillResult(victim_way, victim_addr, old_dirty)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a block (used by tests and coherence-style experiments)."""
+        b = self._block(addr)
+        if self.is_direct_mapped:
+            idx = self.dm.entry_index(b)
+            ent = self._dm_entries.get(idx)
+            if ent is not None and ent[0] == self.dm.tag_value(b):
+                del self._dm_entries[idx]
+                return True
+            return False
+        s = self._sa_sets.get(self.sa.set_index(b))
+        if s is None:
+            return False
+        tag = self.sa.tag_value(b)
+        for w, t in enumerate(s.tags):
+            if t == tag:
+                s.tags[w] = -1
+                s.dirty[w] = False
+                return True
+        return False
+
+    # -- warm-up ----------------------------------------------------------------
+
+    def bulk_fill(self, start_addr: int, n_blocks: int,
+                  dirty_fraction: float = 0.0, seed: int = 0) -> None:
+        """Functionally pre-populate a contiguous block range (warm-up).
+
+        Mirrors the paper's fast-forward cache warming: the range
+        ``[start_addr, start_addr + n_blocks*64)`` is inserted as if each
+        block had been filled once in address order, with a deterministic
+        pseudo-random ``dirty_fraction`` of blocks marked dirty.  Uses
+        vectorised grouping, so warming multi-hundred-MB footprints costs
+        milliseconds instead of replaying millions of accesses.
+        """
+        if n_blocks <= 0:
+            return
+        start_block = start_addr // self.geometry.block_bytes
+        blocks = np.arange(start_block, start_block + n_blocks, dtype=np.int64)
+        # Deterministic per-block dirty choice (Knuth multiplicative hash).
+        h = ((blocks + seed) * np.int64(2654435761)) & np.int64(0xFFFFFFFF)
+        dirty = (h >> 16).astype(np.float64) / 65536.0 < dirty_fraction
+
+        if self.is_direct_mapped:
+            idxs = blocks % self.dm.num_entries
+            tags = blocks // self.dm.num_entries
+            entries = self._dm_entries
+            for i, t, d in zip(idxs.tolist(), tags.tolist(), dirty.tolist()):
+                entries[i] = (t, d)
+            return
+
+        sets = blocks % self.sa.num_sets
+        tags = blocks // self.sa.num_sets
+        order = np.argsort(sets, kind="stable")
+        sets_sorted = sets[order]
+        tags_sorted = tags[order].tolist()
+        dirty_sorted = dirty[order].tolist()
+        boundaries = np.flatnonzero(np.diff(sets_sorted)) + 1
+        starts = [0, *boundaries.tolist()]
+        ends = [*boundaries.tolist(), len(sets_sorted)]
+        set_ids = sets_sorted[np.concatenate(([0], boundaries))].tolist()
+        ways = self.sa.ways
+        for sid, lo, hi in zip(set_ids, starts, ends):
+            s = self._sa_sets.get(sid)
+            if s is None:
+                s = _SASet(ways)
+                self._sa_sets[sid] = s
+            # LRU semantics over (existing contents + this range): keep
+            # the `ways` most recently inserted entries.
+            merged = [(s.stamp[w], s.tags[w], s.dirty[w])
+                      for w in range(ways) if s.tags[w] != -1]
+            for k in range(max(lo, hi - ways), hi):
+                self._clock += 1
+                merged.append((self._clock, tags_sorted[k], dirty_sorted[k]))
+            if len(merged) > ways:
+                merged.sort()
+                for _stamp, _tag, was_dirty in merged[:-ways]:
+                    if was_dirty:
+                        self.dirty_evictions += 1
+                merged = merged[-ways:]
+            for w in range(ways):
+                if w < len(merged):
+                    s.stamp[w], s.tags[w], s.dirty[w] = merged[w]
+                else:
+                    s.tags[w], s.dirty[w], s.stamp[w] = -1, False, 0
+
+    def _touch(self, addr: int, way: int) -> None:
+        if self.is_direct_mapped:
+            return
+        b = self._block(addr)
+        s = self._sa_sets[self.sa.set_index(b)]
+        self._clock += 1
+        s.stamp[way] = self._clock
+
+    # -- array-address helpers (where tag/data live in the stacked DRAM) -------
+
+    def tag_location(self, addr: int) -> int:
+        """Array address of the tag structure guarding ``addr``."""
+        b = self._block(addr)
+        if self.is_direct_mapped:
+            return self.dm.tad_array_addr(self.dm.entry_index(b))
+        return self.sa.tag_array_addr(self.sa.set_index(b))
+
+    def data_location(self, addr: int, way: int) -> int:
+        """Array address of the data block for ``addr`` in ``way``."""
+        b = self._block(addr)
+        if self.is_direct_mapped:
+            return self.dm.tad_array_addr(self.dm.entry_index(b))
+        return self.sa.data_array_addr(self.sa.set_index(b), way)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the functional counters (warm-up boundary)."""
+        self.lookups = self.hits = self.fills = self.dirty_evictions = 0

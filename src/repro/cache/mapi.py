@@ -1,0 +1,86 @@
+"""MAP-I: the instruction-based DRAM-cache miss predictor (Qureshi & Loh).
+
+MAP-I ("Memory Access Predictor, Instruction-based", MICRO'12) predicts
+whether an access will miss in the DRAM cache using a small table of
+saturating counters indexed by a hash of the missing load's instruction
+address.  On a predicted miss the controller launches the main-memory fetch
+*in parallel* with the tag read, hiding most of the miss penalty; tags are
+still checked to confirm.
+
+The paper uses MAP-I in every design it evaluates ("we use MAP-I as the
+DRAM cache miss predictor for reducing miss penalty"), so the predictor is
+part of the shared substrate here, not a DCA-specific feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MAPIStats:
+    """Prediction-accuracy counters."""
+
+    predictions: int = 0
+    predicted_miss: int = 0
+    correct: int = 0
+    wasted_fetches: int = 0     # predicted miss, was actually a hit
+    missed_opportunities: int = 0  # predicted hit, was actually a miss
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class MAPIPredictor:
+    """Per-core tables of 3-bit saturating hit counters indexed by PC hash.
+
+    Counter semantics: saturating up on an observed *hit*, down on a
+    *miss*; predict **miss** when the counter is below the midpoint.  A
+    fresh counter starts at the midpoint-1 (predict miss), matching the
+    cold-cache reality that early accesses miss.
+    """
+
+    def __init__(self, num_cores: int, table_entries: int = 256,
+                 counter_bits: int = 3):
+        if table_entries & (table_entries - 1):
+            raise ValueError("table_entries must be a power of two")
+        self.table_entries = table_entries
+        self.counter_max = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)   # >= threshold -> predict hit
+        init = self.threshold - 1
+        self.tables = [[init] * table_entries for _ in range(num_cores)]
+        self.stats = MAPIStats()
+
+    def _index(self, pc: int) -> int:
+        # Cheap avalanche: fold upper bits down so nearby PCs spread out.
+        h = (pc ^ (pc >> 7) ^ (pc >> 17)) & (self.table_entries - 1)
+        return h
+
+    def predict_miss(self, core_id: int, pc: int) -> bool:
+        """True if the block is predicted to miss in the DRAM cache."""
+        self.stats.predictions += 1
+        counter = self.tables[core_id][self._index(pc)]
+        miss = counter < self.threshold
+        if miss:
+            self.stats.predicted_miss += 1
+        return miss
+
+    def update(self, core_id: int, pc: int, was_hit: bool,
+               predicted_miss: bool) -> None:
+        """Train with the actual tag-check outcome."""
+        t = self.tables[core_id]
+        i = self._index(pc)
+        if was_hit:
+            if t[i] < self.counter_max:
+                t[i] += 1
+        else:
+            if t[i] > 0:
+                t[i] -= 1
+        if predicted_miss != (not was_hit):
+            if predicted_miss:
+                self.stats.wasted_fetches += 1
+            else:
+                self.stats.missed_opportunities += 1
+        else:
+            self.stats.correct += 1

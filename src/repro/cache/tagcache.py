@@ -1,0 +1,169 @@
+"""ATCache-style SRAM tag cache (Huang & Nagarajan, PACT'14) — Fig. 18 study.
+
+A tag cache holds recently used DRAM-cache *tag blocks* in SRAM so a
+request can skip the in-DRAM tag read.  On a tag-cache miss the needed tag
+block is fetched from DRAM **and neighbouring tag blocks are prefetched**
+(ATCache gets most of its benefit from spatial prefetch, since tag-block
+temporal locality is poor — the tag cache is smaller than the tag footprint
+of the L2's own contents).
+
+The paper's Fig. 18 observation: adding a tag cache does *not* reduce DRAM
+tag traffic — for a 256 MB cache even a 192 KB tag cache roughly *doubles*
+DRAM tag accesses, because every tag-cache miss costs (1 + prefetch_degree)
+DRAM tag reads plus dirty tag-block writebacks, while the avoided lookups
+are few.  This model reproduces that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.dramcache import DRAMCacheArray
+
+
+@dataclass
+class TagCacheStats:
+    """Tag-traffic accounting (the Fig. 18 metric is ``dram_tag_accesses``)."""
+
+    requests: int = 0
+    tag_hits: int = 0
+    dram_tag_reads: int = 0        # demand fills + prefetch fills
+    dram_tag_writes: int = 0       # dirty tag-block writebacks
+    prefetch_fills: int = 0
+
+    @property
+    def dram_tag_accesses(self) -> int:
+        return self.dram_tag_reads + self.dram_tag_writes
+
+    @property
+    def hit_rate(self) -> float:
+        return self.tag_hits / self.requests if self.requests else 0.0
+
+
+class TagCache:
+    """A set-associative SRAM cache of 64 B DRAM-cache tag blocks.
+
+    Parameters
+    ----------
+    size_bytes:
+        SRAM capacity.  ``0`` disables the tag cache (the no-tag-cache
+        baseline: every request pays exactly its in-DRAM tag accesses).
+    prefetch_degree:
+        Number of adjacent tag blocks fetched alongside a demand miss.
+    """
+
+    BLOCK = 64
+
+    def __init__(self, array: DRAMCacheArray, size_bytes: int,
+                 assoc: int = 8, prefetch_degree: int = 3):
+        self.array = array
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.prefetch_degree = prefetch_degree
+        self.stats = TagCacheStats()
+        if size_bytes:
+            self.num_sets = max(1, size_bytes // (self.BLOCK * assoc))
+            # set idx -> list of [tag_block_addr, dirty, stamp]
+            self._sets: dict[int, list[list]] = {}
+            self._clock = 0
+        else:
+            self.num_sets = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.size_bytes > 0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _set_of(self, tag_block: int) -> int:
+        # Tag blocks are regularly spaced in array-address space (every
+        # 16 blocks in the set-associative layout); fold the high bits so
+        # they spread over all SRAM sets instead of aliasing into a few.
+        h = tag_block ^ (tag_block >> 4) ^ (tag_block >> 11)
+        return h % self.num_sets
+
+    def _lookup(self, tag_block: int) -> list | None:
+        s = self._sets.get(self._set_of(tag_block))
+        if s is None:
+            return None
+        for entry in s:
+            if entry[0] == tag_block:
+                return entry
+        return None
+
+    def _insert(self, tag_block: int, dirty: bool) -> None:
+        idx = self._set_of(tag_block)
+        s = self._sets.setdefault(idx, [])
+        self._clock += 1
+        for entry in s:
+            if entry[0] == tag_block:
+                entry[1] = entry[1] or dirty
+                entry[2] = self._clock
+                return
+        if len(s) >= self.assoc:
+            # Evict LRU; a dirty tag block must be written back to DRAM.
+            victim = min(s, key=lambda e: e[2])
+            s.remove(victim)
+            if victim[1]:
+                self.stats.dram_tag_writes += 1
+        s.append([tag_block, dirty, self._clock])
+
+    # -- the request-facing operation ---------------------------------------------
+
+    def _tag_block_of_set(self, set_idx: int) -> int:
+        """SRAM-cache key for the tag block guarding ``set_idx``."""
+        if self.array.is_direct_mapped:
+            n = self.array.dm.num_entries
+            return self.array.dm.tad_array_addr(set_idx % n) // self.BLOCK
+        n = self.array.sa.num_sets
+        return self.array.sa.tag_array_addr(set_idx % n) // self.BLOCK
+
+    def _set_of_addr(self, addr: int) -> int:
+        b = addr // self.array.geometry.block_bytes
+        if self.array.is_direct_mapped:
+            return self.array.dm.entry_index(b)
+        return self.array.sa.set_index(b)
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        """Process the tag lookup of one DRAM-cache request.
+
+        Returns True if the tags were served from SRAM (no DRAM tag read
+        needed).  ``is_write`` marks lookups that will update the tag block
+        (replacement bits / dirty bits / insertion), which dirties the
+        SRAM copy.
+
+        On a miss, the demand tag block is fetched and the tag blocks of
+        the *next* ``prefetch_degree`` sets are prefetched — consecutive
+        physical blocks map to consecutive sets, so streams hit on
+        prefetched neighbours (ATCache's spatial-locality benefit).
+
+        Without a tag cache, the request pays one DRAM tag read (counted
+        here) and its tag *writes* ride the normal write path (counted by
+        the caller's translation, not here) — the Fig. 18 normalization
+        divides by exactly this baseline.
+        """
+        self.stats.requests += 1
+        set_idx = self._set_of_addr(addr)
+        tag_block = self._tag_block_of_set(set_idx)
+        if not self.enabled:
+            self.stats.dram_tag_reads += 1
+            return False
+        entry = self._lookup(tag_block)
+        if entry is not None:
+            self.stats.tag_hits += 1
+            self._clock += 1
+            entry[2] = self._clock
+            if is_write:
+                entry[1] = True
+            return True
+        # Demand fill ...
+        self.stats.dram_tag_reads += 1
+        self._insert(tag_block, dirty=is_write)
+        # ... plus spatial prefetch of the neighbouring sets' tag blocks.
+        for i in range(1, self.prefetch_degree + 1):
+            neighbour = self._tag_block_of_set(set_idx + i)
+            if self._lookup(neighbour) is None:
+                self.stats.dram_tag_reads += 1
+                self.stats.prefetch_fills += 1
+                self._insert(neighbour, dirty=False)
+        return False

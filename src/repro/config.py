@@ -1,0 +1,286 @@
+"""System configuration: the paper's Table II, expressed in integer picoseconds.
+
+Every latency in the simulator is an integer number of picoseconds.  Using a
+single integer timeline avoids floating-point drift when composing DRAM
+timing constraints, and makes event ordering exact and deterministic.
+
+Two stock configurations are provided:
+
+* :func:`paper_config` — the exact Table II system (4 GHz cores, 8 MB L2,
+  256 MB stacked-DRAM cache, 4 channels x 16 banks, 4 KB rows).
+* :func:`scaled_config` — the same system with capacities scaled down so a
+  full multiprogrammed simulation finishes in seconds of host time.  The
+  paper notes DCA "is not sensitive to the cache size" (it improves
+  scheduling, not hit rate), so scaling capacity while keeping the row
+  layout, queue sizes and timings identical preserves the phenomena being
+  studied (priority inversion, RRC, turnarounds, flush latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+PS_PER_NS = 1000
+
+#: Convert nanoseconds (possibly fractional, e.g. 3.33) to integer picoseconds.
+def ns(v: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded)."""
+    return round(v * PS_PER_NS)
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """DRAM timing parameters in picoseconds (paper Table II).
+
+    The stacked-DRAM part uses timings "half-way between today's latency and
+    the predicted latency" following Sim et al. (MICRO'12), as the paper
+    does.  A DDR3-1600 set is provided for the off-chip comparison point and
+    for tests.
+    """
+
+    tRCD: int    # ACT -> CAS (row to column delay)
+    tCAS: int    # CAS -> first data (column access strobe / CL)
+    tRP: int     # PRE -> ACT (row precharge)
+    tRAS: int    # ACT -> PRE (row active minimum)
+    tWTR: int    # end of write data -> read command (bus turnaround W->R)
+    tRTP: int    # read CAS -> PRE
+    tRTW: int    # read -> write command (bus turnaround R->W)
+    tWR: int     # end of write data -> PRE (write recovery)
+    tBURST: int  # data burst duration on the bus
+
+    @classmethod
+    def stacked(cls) -> "DRAMTimings":
+        """Die-stacked (wide-IO-like) timings from Table II."""
+        return cls(
+            tRCD=ns(8), tCAS=ns(8), tRP=ns(8), tRAS=ns(30),
+            tWTR=ns(5), tRTP=ns(7.5), tRTW=ns(1.67),
+            tWR=ns(15), tBURST=ns(3.33),
+        )
+
+    @classmethod
+    def ddr3_1600(cls) -> "DRAMTimings":
+        """Conventional DDR3-1600-like timings (for tests / off-chip model)."""
+        return cls(
+            tRCD=ns(13.75), tCAS=ns(13.75), tRP=ns(13.75), tRAS=ns(35),
+            tWTR=ns(7.5), tRTP=ns(7.5), tRTW=ns(2.5),
+            tWR=ns(15), tBURST=ns(5),
+        )
+
+    def row_miss_penalty(self) -> int:
+        """Cost of ACT+CAS on a closed row (excludes burst)."""
+        return self.tRCD + self.tCAS
+
+    def row_conflict_penalty(self) -> int:
+        """Cost of PRE+ACT+CAS on a conflicting open row (excludes burst)."""
+        return self.tRP + self.tRCD + self.tCAS
+
+
+@dataclass(frozen=True)
+class DRAMOrganization:
+    """Geometry of the stacked DRAM (paper Table II).
+
+    ``row_bytes`` is the row-buffer size.  The address interleaving is
+    RoBaRaChCo (row : bank : rank : channel : column, MSB to LSB).
+    """
+
+    channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 16
+    row_bytes: int = 4096
+    block_bytes: int = 64
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.row_bytes // self.block_bytes
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Per-channel controller queue sizes and watermarks (Table II).
+
+    The read queue holds 64 entries (32 for ROD, which also carries the
+    writeback-request read-tags in its 96-entry write queue).  The write
+    queue drains between a low watermark (50 %) and a forced-flush high
+    watermark (85 %).  DCA's low-priority-read drain uses the Algorithm 1
+    hysteresis: start draining all reads above 85 % occupancy, stop below
+    75 %.
+    """
+
+    read_entries: int = 64
+    write_entries: int = 64
+    write_low_watermark: float = 0.50
+    write_high_watermark: float = 0.85
+    lr_drain_high: float = 0.85   # DCA Algorithm 1: ScheduleAll=True above this
+    lr_drain_low: float = 0.75    # DCA Algorithm 1: ScheduleAll=False below this
+    #: per-channel issue window: how many accesses may be committed but not
+    #: yet completed.  >1 lets bank preparations (PRE/ACT) of different
+    #: banks overlap in-flight bursts, modelling command-level pipelining;
+    #: small enough that scheduling stays reactive at burst granularity.
+    issue_window: int = 8
+    #: once an opportunistic (bus-idle) write drain begins, at least this
+    #: many writes issue before an arriving read may preempt it: write-mode
+    #: excursions must amortize their two turnarounds.
+    opportunistic_min_batch: int = 8
+    #: latency of serving a read from the write buffer (forwarding): reads
+    #: that hit a pending writeback/refill never touch the DRAM array
+    #: (standard write buffering, paper §II-C ref [10]).
+    forward_latency_ps: int = 2000
+
+    @classmethod
+    def for_design(cls, design: str) -> "QueueConfig":
+        """Table II sizes per design: ROD gets 32-read/96-write queues."""
+        if design.upper() == "ROD":
+            return cls(read_entries=32, write_entries=96)
+        return cls()
+
+
+@dataclass(frozen=True)
+class BLISSConfig:
+    """BLISS blacklisting scheduler parameters (Subramanian et al.)."""
+
+    blacklist_threshold: int = 4        # consecutive requests before blacklisting
+    clearing_interval_ps: int = ns(10_000)  # blacklist cleared every 10 us
+
+
+@dataclass(frozen=True)
+class DCAConfig:
+    """DCA-specific knobs: RRPC counter width and OFS flushing factor."""
+
+    rrpc_bits: int = 3
+    rrpc_max: int = 7
+    flushing_factor: int = 4   # FF-4, the paper's operating point
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one SRAM cache level."""
+
+    size_bytes: int
+    assoc: int
+    block_bytes: int = 64
+    latency_cycles: int = 1
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.block_bytes)
+
+
+@dataclass(frozen=True)
+class DRAMCacheGeometry:
+    """Geometry of the stacked-DRAM cache (L3).
+
+    ``data_capacity`` reflects the tags-in-DRAM overhead: for the paper's
+    256 MB cache, 240 MB holds data (the "1/15 way" line in Table II: the
+    direct-mapped organization stores 1 way per tag-and-data unit, the
+    set-associative organization 15 ways per tag block).
+    """
+
+    size_bytes: int = 256 * 2**20
+    block_bytes: int = 64
+    sa_ways: int = 15          # set-associative organization (Loh-Hill style)
+    row_bytes: int = 4096
+
+    @property
+    def data_capacity(self) -> int:
+        """Usable data bytes: 15/16 of raw capacity (1 tag block per 15 data)."""
+        return self.size_bytes * 15 // 16
+
+    @property
+    def sa_sets(self) -> int:
+        """Number of sets in the set-associative organization.
+
+        Each 4 KB row holds 4 sets of (1 tag block + 15 data blocks).
+        """
+        return self.data_capacity // (self.block_bytes * self.sa_ways)
+
+    @property
+    def dm_entries(self) -> int:
+        """Number of block entries in the direct-mapped organization.
+
+        Alloy-style TADs (tag-and-data, ~72 B) pack 56 per 4 KB row; we use
+        the same 15/16 usable fraction = 60 blocks/row for geometry parity
+        with the set-associative layout so both organizations cache the
+        same number of bytes.
+        """
+        return self.data_capacity // self.block_bytes
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Core model parameters (paper Table II: 4 GHz, 8-wide, 192 ROB)."""
+
+    freq_ghz: float = 4.0
+    width: int = 8
+    rob_entries: int = 192
+    max_outstanding_misses: int = 16   # per-core MSHR / MLP bound
+    l2_hit_stall_fraction: float = 0.5  # fraction of L2 hit latency the OoO core cannot hide
+
+    @property
+    def cycle_ps(self) -> int:
+        return round(1000 / self.freq_ghz)
+
+
+@dataclass(frozen=True)
+class MainMemoryConfig:
+    """Off-chip memory: flat 50 ns access over a 2 GHz / 64-bit bus."""
+
+    latency_ps: int = ns(50)
+    bus_ghz: float = 2.0
+    bus_bits: int = 64
+    block_bytes: int = 64
+
+    @property
+    def bus_occupancy_ps(self) -> int:
+        """Time one 64 B block occupies the off-chip bus."""
+        transfers = self.block_bytes * 8 // self.bus_bits
+        return round(transfers * 1000 / self.bus_ghz)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level bundle of all parameters (Table II)."""
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    l1: CacheGeometry = field(default_factory=lambda: CacheGeometry(
+        size_bytes=32 * 2**10, assoc=2, latency_cycles=2))
+    l2: CacheGeometry = field(default_factory=lambda: CacheGeometry(
+        size_bytes=8 * 2**20, assoc=16, latency_cycles=20))
+    dram_cache: DRAMCacheGeometry = field(default_factory=DRAMCacheGeometry)
+    timings: DRAMTimings = field(default_factory=DRAMTimings.stacked)
+    org: DRAMOrganization = field(default_factory=DRAMOrganization)
+    queues: QueueConfig = field(default_factory=QueueConfig)
+    bliss: BLISSConfig = field(default_factory=BLISSConfig)
+    dca: DCAConfig = field(default_factory=DCAConfig)
+    mainmem: MainMemoryConfig = field(default_factory=MainMemoryConfig)
+    num_cores: int = 4
+    l2_mshrs: int = 32
+
+    def with_queues_for(self, design: str) -> "SystemConfig":
+        """Return a copy with the per-design queue sizes from Table II."""
+        return replace(self, queues=QueueConfig.for_design(design))
+
+
+def paper_config() -> SystemConfig:
+    """The exact Table II configuration."""
+    return SystemConfig()
+
+
+def scaled_config(scale: int = 8) -> SystemConfig:
+    """Capacity-scaled configuration for fast simulation.
+
+    Divides L2 and DRAM-cache capacity by ``scale`` while keeping block
+    size, row layout, way counts, queue sizes, and all timings identical.
+    Workload footprints in :mod:`repro.workloads` are scaled by the same
+    factor, so hit rates and per-row access patterns are preserved.
+    """
+    base = SystemConfig()
+    return replace(
+        base,
+        l2=replace(base.l2, size_bytes=base.l2.size_bytes // scale),
+        dram_cache=replace(base.dram_cache,
+                           size_bytes=base.dram_cache.size_bytes // scale),
+    )

@@ -1,0 +1,142 @@
+"""The vocabulary of DRAM-cache requests and DRAM accesses (paper Fig. 2).
+
+A **request** is what the L2 sends the DRAM-cache controller: a cache read
+(demand miss), a cache writeback (dirty eviction), or a cache refill (block
+arriving from main memory).  A **access** is one DRAM array operation the
+request translates into:
+
+    read request (set-assoc):  RTr -> [hit] RDr + WTr
+    writeback / refill:        RTw -> WDw + WTw (+ RDw if the victim is dirty)
+    read request (direct-mapped): one TAD read
+    writeback / refill (dm):   TAD read -> TAD write
+
+The **role** names (``RT``/``RD``/``WT``/``WD`` with request-type subscript)
+follow the paper's Figs. 4-7.  The controller designs differ only in which
+queue each access is routed to and in what priority class it is served
+(DCA's PR/LR split), so those attributes live on the access itself.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable, Optional
+
+
+class RequestType(IntEnum):
+    """What the L2 asked for."""
+
+    READ = 0        # demand fetch (critical path)
+    WRITEBACK = 1   # dirty eviction from L2
+    REFILL = 2      # block returning from main memory into the cache
+
+
+class AccessRole(IntEnum):
+    """Which array operation this access performs."""
+
+    TAG_READ = 0    # RT* : read a tag block (or TAD in direct-mapped)
+    DATA_READ = 1   # RD* : read a data block
+    TAG_WRITE = 2   # WT* : write a tag block (replacement bits / tag insert)
+    DATA_WRITE = 3  # WD* : write a data block (or TAD in direct-mapped)
+
+
+#: Roles that drive the DRAM bus in read mode.
+_READ_ROLES = frozenset({AccessRole.TAG_READ, AccessRole.DATA_READ})
+
+
+class Priority(IntEnum):
+    """DCA's read-access classes (paper §IV-B).
+
+    PR — priority reads: tag/data reads belonging to cache-read requests
+    (the critical path).  LR — low-priority reads: tag reads belonging to
+    writeback and refill requests.  Write accesses carry ``WRITE`` for
+    uniform bookkeeping.
+    """
+
+    PR = 0
+    LR = 1
+    WRITE = 2
+
+
+class CacheRequest:
+    """One L2-level request to the DRAM cache."""
+
+    __slots__ = ("rtype", "addr", "core_id", "pc", "arrival", "done_time",
+                 "on_done", "hit", "accesses_left", "meta")
+
+    _counter = 0
+
+    def __init__(self, rtype: RequestType, addr: int, core_id: int,
+                 pc: int = 0, arrival: int = 0,
+                 on_done: Optional[Callable[["CacheRequest"], None]] = None):
+        self.rtype = rtype
+        self.addr = addr
+        self.core_id = core_id
+        self.pc = pc
+        self.arrival = arrival
+        self.done_time: int = -1
+        self.on_done = on_done
+        self.hit: Optional[bool] = None   # resolved at tag-read completion
+        self.accesses_left = 0            # live accesses gating completion
+        self.meta: dict = {}              # experiment hooks (kept small)
+
+    @property
+    def is_read(self) -> bool:
+        return self.rtype == RequestType.READ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheRequest({self.rtype.name}, addr={self.addr:#x}, "
+                f"core={self.core_id}, t={self.arrival})")
+
+
+class Access:
+    """One DRAM array access; the unit the controller schedules."""
+
+    __slots__ = ("role", "request", "channel", "rank", "bank", "row", "col",
+                 "global_bank", "arrival", "seq", "priority", "on_complete",
+                 "critical")
+
+    _seq = 0
+
+    def __init__(self, role: AccessRole, request: CacheRequest,
+                 channel: int, rank: int, bank: int, row: int, col: int,
+                 global_bank: int, arrival: int,
+                 on_complete: Optional[Callable[["Access", int], None]] = None,
+                 critical: bool = True):
+        self.role = role
+        self.request = request
+        self.channel = channel
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.col = col
+        self.global_bank = global_bank
+        self.arrival = arrival
+        Access._seq += 1
+        self.seq = Access._seq            # global age tiebreak for schedulers
+        self.on_complete = on_complete
+        #: completion of this access gates the request's completion
+        self.critical = critical
+        # Priority class per DCA's taxonomy; identical labels are kept for
+        # CD/ROD so stats can distinguish inverted reads there too.
+        if role in _READ_ROLES:
+            self.priority = (Priority.PR if request.rtype == RequestType.READ
+                             else Priority.LR)
+        else:
+            self.priority = Priority.WRITE
+
+    @property
+    def is_write(self) -> bool:
+        """Does this access drive the bus in write mode?"""
+        return self.role in (AccessRole.TAG_WRITE, AccessRole.DATA_WRITE)
+
+    @property
+    def is_bus_read(self) -> bool:
+        return not self.is_write
+
+    @property
+    def core_id(self) -> int:
+        return self.request.core_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Access({self.role.name}, {self.priority.name}, "
+                f"ch{self.channel} b{self.bank} r{self.row})")

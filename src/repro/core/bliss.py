@@ -1,0 +1,86 @@
+"""BLISS: the Blacklisting memory scheduler (Subramanian et al., 2015).
+
+BLISS achieves application-aware scheduling with minimal state: it observes
+the stream of *served* requests, and when one application is served
+``blacklist_threshold`` (4) times in a row, that application is
+**blacklisted**.  Scheduling priority is then:
+
+1. non-blacklisted application first,
+2. row-buffer hit first,
+3. oldest first.
+
+The blacklist is cleared wholesale every ``clearing_interval`` (10 us),
+bounding unfairness without per-application rank computation.
+
+The paper uses BLISS as the underlying scheduling algorithm of *all* the
+evaluated controller designs (CD, ROD, DCA); the designs differ in which
+candidate set they hand to BLISS at each slot, not in the ordering policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.config import BLISSConfig
+from repro.core.access import Access
+from repro.dram.bank import ROW_HIT
+from repro.dram.channel import Channel
+
+
+class BLISSScheduler:
+    """Per-channel BLISS state + candidate selection."""
+
+    __slots__ = ("cfg", "blacklist", "_last_core", "_streak", "_last_clear",
+                 "served", "blacklist_events")
+
+    def __init__(self, cfg: BLISSConfig, num_cores: int):
+        self.cfg = cfg
+        self.blacklist = [False] * num_cores
+        self._last_core = -1
+        self._streak = 0
+        self._last_clear = 0
+        self.served = 0
+        self.blacklist_events = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def maybe_clear(self, now: int) -> None:
+        """Clear all blacklist bits every clearing interval."""
+        if now - self._last_clear >= self.cfg.clearing_interval_ps:
+            self.blacklist = [False] * len(self.blacklist)
+            self._last_clear = now
+
+    def on_served(self, core_id: int) -> None:
+        """Observe one served request; blacklist on a long streak."""
+        self.served += 1
+        if core_id == self._last_core:
+            self._streak += 1
+            if self._streak >= self.cfg.blacklist_threshold:
+                if not self.blacklist[core_id]:
+                    self.blacklist[core_id] = True
+                    self.blacklist_events += 1
+                self._streak = 0
+        else:
+            self._last_core = core_id
+            self._streak = 1
+
+    # -- selection ---------------------------------------------------------------
+
+    def pick(self, candidates: Iterable[Access], channel: Channel,
+             now: int) -> Optional[Access]:
+        """Choose the highest-priority access among ``candidates``.
+
+        Priority: non-blacklisted > row-hit > age (global seq).  Returns
+        None when the candidate set is empty.
+        """
+        self.maybe_clear(now)
+        best: Optional[Access] = None
+        best_key: tuple[int, int, int] | None = None
+        bl = self.blacklist
+        for a in candidates:
+            row_hit = (channel.banks[
+                channel.bank_index(a.rank, a.bank)].row_state(a.row) == ROW_HIT)
+            key = (1 if bl[a.core_id] else 0, 0 if row_hit else 1, a.seq)
+            if best_key is None or key < best_key:
+                best, best_key = a, key
+        return best

@@ -1,0 +1,122 @@
+"""DCA — the DRAM-Cache-Aware controller (paper §IV).
+
+DCA keeps CD's queue mapping (bus reads in the read queue, bus writes in
+the write queue) so turnarounds stay rare, but teaches the read-queue
+scheduler about *request* type:
+
+* **PR (priority reads)** — tag/data reads of cache-read requests: served
+  in every normal scheduling slot (BLISS order).
+* **LR (low-priority reads)** — tag reads of writeback/refill requests:
+  *held* in the read queue like a write queue, drained only when safe.
+
+LRs drain through two mechanisms (paper Algorithm 1 + §IV-C):
+
+1. **Occupancy hysteresis** — if read-queue occupancy exceeds 85 %,
+   ``ScheduleAll`` turns on and every read (PR and LR) is eligible until
+   occupancy falls below 75 %.
+2. **OFS (Opportunistic Flushing Scheme)** — when no PR is pending, an LR
+   may issue if its bank shows no row conflict (row hit or closed row), or
+   if the bank's RRPC counter has decayed below the flushing factor
+   (FF-4): no priority read has touched that bank recently, so the LR is
+   unlikely to steal a row a PR is about to reuse.
+
+The RRPC table is updated **only by PRs** (paper §IV-C): on each PR issue
+all bank counters decay by one and the PR's bank is set to 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.access import Access, Priority
+from repro.core.base import BaseController
+from repro.core.queues import AccessQueue
+from repro.core.rrpc import RRPCTable
+from repro.dram.bank import ROW_CONFLICT
+
+
+class DCAController(BaseController):
+    """CD's routing + PR/LR-aware read scheduling + OFS."""
+
+    design = "DCA"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.rrpc = RRPCTable(self.cfg.org.total_banks,
+                              max_value=self.cfg.dca.rrpc_max)
+        self.schedule_all = [False] * self.cfg.org.channels
+
+    def _route(self, access: Access) -> str:
+        return "write" if access.is_write else "read"
+
+    def _on_issued(self, access: Access) -> None:
+        if access.priority == Priority.PR:
+            self.rrpc.on_priority_read(access.global_bank)
+
+    # -- Algorithm 1 ---------------------------------------------------------------
+
+    def _update_schedule_all(self, ch: int) -> None:
+        if self.draining:
+            # End-of-run flush: held LRs must leave regardless of OFS.
+            self.schedule_all[ch] = True
+            return
+        occ = self.read_q[ch].occupancy
+        if occ > self.cfg.queues.lr_drain_high:
+            self.schedule_all[ch] = True
+        elif occ < self.cfg.queues.lr_drain_low:
+            self.schedule_all[ch] = False
+
+    def _ofs_candidates(self, ch: int) -> list[Access]:
+        """LRs passing the OFS criteria (§IV-C)."""
+        channel = self.device.channels[ch]
+        ff = self.cfg.dca.flushing_factor
+        out = []
+        for a in self.read_q[ch].entries:
+            if a.priority != Priority.LR:
+                continue
+            bank = channel.banks[channel.bank_index(a.rank, a.bank)]
+            if bank.row_state(a.row) != ROW_CONFLICT:
+                out.append(a)          # row hit or closed row: safe
+            elif self.rrpc.allows_flush(a.global_bank, ff):
+                out.append(a)          # conflicting, but the bank is cold
+        return out
+
+    def _select(self, ch: int) -> Optional[tuple[Access, AccessQueue]]:
+        self._flush_exit_check(ch)
+        self._flush_enter_forced(ch)
+        if self.flushing[ch]:
+            picked = self._pick_write(ch)
+            if picked is not None:
+                return picked
+            self.flushing[ch] = False
+
+        picked = self._continue_opportunistic(ch)
+        if picked is not None:
+            return picked
+
+        self._update_schedule_all(ch)
+        rq = self.read_q[ch]
+        if self.schedule_all[ch]:
+            picked = self._pick_read(ch, rq.entries)
+            if picked is not None:
+                if picked[0].priority == Priority.LR:
+                    self.stats.lr_drain_issues += 1
+                return picked
+        else:
+            picked = self._pick_read(ch, rq.priority_reads())
+            if picked is not None:
+                return picked
+            # Algorithm 1 line 15-18: no PR was ready -> OFS flush.
+            picked = self._pick_read(ch, self._ofs_candidates(ch))
+            if picked is not None:
+                self.stats.lr_ofs_issues += 1
+                return picked
+
+        return self._start_opportunistic(ch)
+
+    def _reads_preempt(self, ch: int) -> bool:
+        """Only *priority* reads preempt an idle-time write drain: held LRs
+        are background work like the writes themselves."""
+        if self.schedule_all[ch]:
+            return bool(self.read_q[ch].entries)
+        return any(a.priority == Priority.PR for a in self.read_q[ch].entries)

@@ -1,0 +1,42 @@
+"""FR-FCFS: first-ready, first-come-first-served scheduling.
+
+The classic row-hit-first baseline.  Provided as an alternative underlying
+scheduler (the paper's designs all run on BLISS, but notes "our scheme is
+not limited to any scheduling algorithm" — swapping this in demonstrates
+that claim and is exercised by the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.access import Access
+from repro.dram.bank import ROW_HIT
+from repro.dram.channel import Channel
+
+
+class FRFCFSScheduler:
+    """Row-hit-first, then oldest.  Application-blind."""
+
+    __slots__ = ("served",)
+
+    def __init__(self, *_args, **_kwargs):
+        self.served = 0
+
+    def maybe_clear(self, now: int) -> None:
+        """No periodic state (interface parity with BLISS)."""
+
+    def on_served(self, core_id: int) -> None:
+        self.served += 1
+
+    def pick(self, candidates: Iterable[Access], channel: Channel,
+             now: int) -> Optional[Access]:
+        best: Optional[Access] = None
+        best_key: tuple[int, int] | None = None
+        for a in candidates:
+            row_hit = (channel.banks[
+                channel.bank_index(a.rank, a.bank)].row_state(a.row) == ROW_HIT)
+            key = (0 if row_hit else 1, a.seq)
+            if best_key is None or key < best_key:
+                best, best_key = a, key
+        return best

@@ -1,0 +1,80 @@
+"""Controller access queues with watermark state.
+
+One :class:`AccessQueue` holds the accesses waiting to be scheduled on one
+channel's bus for one direction class (the designs differ in *what* they
+route here — see cd/rod/dca modules).  Capacity applies to *admission of
+new requests*: continuation accesses of an in-flight request (the RD/WT
+that follow a completed tag read) always fit, mirroring how real
+controllers reserve slots for request continuations to avoid deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.access import Access, Priority
+
+
+class AccessQueue:
+    """A bounded scheduling pool (not FIFO: schedulers pick by policy)."""
+
+    __slots__ = ("capacity", "entries", "_occupancy_integral", "_last_t")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.entries: list[Access] = []
+        # time-weighted occupancy, for average-occupancy reporting
+        self._occupancy_integral = 0
+        self._last_t = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction; may exceed 1.0 transiently via continuations."""
+        return len(self.entries) / self.capacity
+
+    def has_room(self) -> bool:
+        """Admission check for *new* requests."""
+        return len(self.entries) < self.capacity
+
+    def push(self, access: Access, now: int = 0) -> None:
+        """Add an access (continuations may exceed nominal capacity)."""
+        self._account(now)
+        self.entries.append(access)
+
+    def remove(self, access: Access, now: int = 0) -> None:
+        self._account(now)
+        self.entries.remove(access)
+
+    def _account(self, now: int) -> None:
+        if now > self._last_t:
+            self._occupancy_integral += len(self.entries) * (now - self._last_t)
+            self._last_t = now
+
+    def mean_occupancy(self, now: int) -> float:
+        """Time-averaged entry count since construction/reset."""
+        self._account(now)
+        return self._occupancy_integral / now if now else 0.0
+
+    # -- filtered views used by the designs -------------------------------------
+
+    def priority_reads(self) -> list[Access]:
+        return [a for a in self.entries if a.priority == Priority.PR]
+
+    def low_priority_reads(self) -> list[Access]:
+        return [a for a in self.entries if a.priority == Priority.LR]
+
+    def filtered(self, pred: Callable[[Access], bool]) -> list[Access]:
+        return [a for a in self.entries if pred(a)]
+
+    def oldest(self) -> Optional[Access]:
+        if not self.entries:
+            return None
+        return min(self.entries, key=lambda a: a.seq)

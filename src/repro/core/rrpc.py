@@ -1,0 +1,54 @@
+"""Bank re-reference prediction counters (RRPC) — paper §IV-C.
+
+DCA's opportunistic flushing scheme must avoid scheduling a low-priority
+read (LR) into a bank a priority read (PR) is about to reuse, since that
+would re-introduce read-read conflicts.  The paper borrows the RRIP idea
+from cache replacement: each bank has a 3-bit counter; on every PR, *all*
+banks' counters decrement by one (floor 0) and the accessed bank's counter
+is set to 7.  A high counter therefore means "a PR touched this bank
+recently" — an LR that would row-conflict there is held back unless the
+counter has decayed below the flushing factor (FF-4).
+
+Implementation note: the literal decrement-all-on-every-PR is O(banks) per
+PR.  We use the equivalent O(1) formulation: keep a global PR counter
+``G`` and per-bank ``g[b]`` = value of ``G`` when bank *b* was last set to
+7; the counter value is ``max(0, 7 - (G - g[b]))``.  This is exactly the
+paper's semantics (each intervening PR decrements by one) at constant cost.
+"""
+
+from __future__ import annotations
+
+
+class RRPCTable:
+    """Per-bank 3-bit re-reference prediction counters (O(1) updates)."""
+
+    __slots__ = ("max_value", "_global", "_set_at")
+
+    def __init__(self, num_banks: int, max_value: int = 7):
+        self.max_value = max_value
+        self._global = 0
+        # 0 in _set_at with _global = 0 makes every counter start at
+        # max(0, 7 - 0) = 7?  No: banks must start cold at 0, so bias the
+        # birth stamp far enough in the past to floor the counter.
+        self._set_at = [-(max_value + 1)] * num_banks
+
+    def on_priority_read(self, global_bank: int) -> None:
+        """A PR was scheduled: decrement all banks, set this bank to max."""
+        self._global += 1
+        self._set_at[global_bank] = self._global
+
+    def value(self, global_bank: int) -> int:
+        """Current counter value in [0, max_value]."""
+        v = self.max_value - (self._global - self._set_at[global_bank])
+        return v if v > 0 else 0
+
+    def allows_flush(self, global_bank: int, flushing_factor: int) -> bool:
+        """OFS criterion: counter below the flushing factor (paper FF-4)."""
+        return self.value(global_bank) < flushing_factor
+
+    def snapshot(self) -> list[int]:
+        """All counter values (for tests/debugging)."""
+        return [self.value(b) for b in range(len(self._set_at))]
+
+    def __len__(self) -> int:
+        return len(self._set_at)

@@ -1,0 +1,25 @@
+"""Die-stacked DRAM substrate: timing model, banks, channels, address mapping.
+
+This package models the stacked DRAM at the granularity a controller sees:
+per-bank row-buffer state with ACT/PRE/CAS timing composition, a per-channel
+data bus with read/write direction tracking (bus turnarounds cost
+tWTR / tRTW), and the RoBaRaChCo address interleaving from the paper's
+Table II, optionally post-processed by the permutation-based XOR remapping
+of Zhang et al. (MICRO'00).
+"""
+
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel, RowState
+from repro.dram.device import DRAMDevice
+from repro.dram.stats import ChannelStats
+
+__all__ = [
+    "AddressMapper",
+    "DecodedAddress",
+    "Bank",
+    "Channel",
+    "RowState",
+    "DRAMDevice",
+    "ChannelStats",
+]

@@ -1,0 +1,125 @@
+"""Address interleaving for the stacked DRAM array.
+
+The paper (Table II) uses **RoBaRaChCo** interleaving: reading the physical
+array address from most-significant to least-significant bits gives
+
+    | row | bank | rank | channel | column | block offset |
+
+i.e. consecutive blocks walk columns within one row of one bank, consecutive
+rows rotate across channels first, then ranks, then banks.  This spreads a
+sequential stream across channels at row granularity while keeping row-buffer
+locality within a channel.
+
+The optional **XOR permutation remapping** implements Zhang, Zhu & Zhang
+(MICRO'00): the bank index is XORed with the low bits of the row index, so
+two addresses that fall in the *same bank but different rows* (a row-buffer
+conflict) are scattered to *different banks*.  The paper adds this scheme to
+all controller designs in its Fig. 9 experiment because it mitigates
+read-read conflicts (RRC) the same way it mitigates read-write conflicts in
+conventional DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.config import DRAMOrganization
+
+
+class DecodedAddress(NamedTuple):
+    """A fully decoded DRAM coordinate.
+
+    ``col`` is in units of cache blocks (64 B) within the row.
+    ``global_bank`` is a flattened (channel, rank, bank) index usable as a
+    key into per-bank controller state such as DCA's RRPC counters.
+    """
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+    @property
+    def global_bank(self) -> int:
+        # Flattening is computed by AddressMapper.decode; stored here lazily
+        # would cost a slot, so derive the common 1-rank case directly.
+        raise AttributeError("use AddressMapper.global_bank(decoded)")
+
+
+class AddressMapper:
+    """Maps byte addresses in the DRAM array to (channel, rank, bank, row, col).
+
+    Parameters
+    ----------
+    org:
+        DRAM geometry (channels/ranks/banks/row size/block size).
+    xor_remap:
+        Enable the permutation-based bank remapping (Zhang et al.).
+    """
+
+    def __init__(self, org: DRAMOrganization, xor_remap: bool = False):
+        if org.channels & (org.channels - 1):
+            raise ValueError("channel count must be a power of two")
+        if org.banks_per_rank & (org.banks_per_rank - 1):
+            raise ValueError("bank count must be a power of two")
+        if org.ranks_per_channel & (org.ranks_per_channel - 1):
+            raise ValueError("rank count must be a power of two")
+        self.org = org
+        self.xor_remap = xor_remap
+
+        self._block_bits = (org.block_bytes - 1).bit_length()
+        self._col_bits = (org.blocks_per_row - 1).bit_length()
+        self._ch_bits = (org.channels - 1).bit_length()
+        self._ra_bits = (org.ranks_per_channel - 1).bit_length()
+        self._ba_bits = (org.banks_per_rank - 1).bit_length()
+
+        self._col_mask = org.blocks_per_row - 1
+        self._ch_mask = org.channels - 1
+        self._ra_mask = org.ranks_per_channel - 1
+        self._ba_mask = org.banks_per_rank - 1
+
+        # Bit offsets from LSB, RoBaRaChCo order (Co lowest, Ro highest).
+        self._col_shift = self._block_bits
+        self._ch_shift = self._col_shift + self._col_bits
+        self._ra_shift = self._ch_shift + self._ch_bits
+        self._ba_shift = self._ra_shift + self._ra_bits
+        self._row_shift = self._ba_shift + self._ba_bits
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Decode a byte address into DRAM coordinates."""
+        if addr < 0:
+            raise ValueError(f"negative address: {addr}")
+        col = (addr >> self._col_shift) & self._col_mask
+        channel = (addr >> self._ch_shift) & self._ch_mask
+        rank = (addr >> self._ra_shift) & self._ra_mask
+        bank = (addr >> self._ba_shift) & self._ba_mask
+        row = addr >> self._row_shift
+        if self.xor_remap:
+            bank ^= row & self._ba_mask
+        return DecodedAddress(channel, rank, bank, row, col)
+
+    def encode(self, d: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (useful in tests; bijective per channel)."""
+        bank = d.bank
+        if self.xor_remap:
+            bank ^= d.row & self._ba_mask
+        return ((d.row << self._row_shift)
+                | (bank << self._ba_shift)
+                | (d.rank << self._ra_shift)
+                | (d.channel << self._ch_shift)
+                | (d.col << self._col_shift))
+
+    def global_bank(self, d: DecodedAddress) -> int:
+        """Flatten (channel, rank, bank) to one index in [0, total_banks)."""
+        per_ch = self.org.ranks_per_channel * self.org.banks_per_rank
+        return d.channel * per_ch + d.rank * self.org.banks_per_rank + d.bank
+
+    def row_of(self, addr: int) -> int:
+        """Fast row extraction without building a tuple."""
+        return addr >> self._row_shift
+
+    @property
+    def row_bits_start(self) -> int:
+        """LSB position of the row field (for workload generators)."""
+        return self._row_shift

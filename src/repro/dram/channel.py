@@ -1,0 +1,144 @@
+"""A DRAM channel: banks behind one shared bidirectional data bus.
+
+The data bus services one burst (tBURST) at a time and has a *direction*
+(read or write).  Switching direction is a **turnaround**: a read burst may
+not start earlier than tWTR after the last write burst ended, and a write
+burst may not start earlier than tRTW after the last read burst ended
+(JEDEC-style accounting collapsed to burst granularity).  Frequent
+turnarounds waste bus time, which is precisely the failure mode of the ROD
+controller design the paper analyses.
+
+Issue model (shared by every controller design):
+
+* the scheduler commits to an access at a decision time ``now``;
+* the target bank computes its earliest CAS (opening/closing rows as
+  needed, overlapping row preparation with the in-flight burst);
+* the burst is placed at ``max(bank CAS + tCAS, bus free, turnaround
+  constraint)``;
+* the bank and bus state are updated and the completion time returned.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.config import DRAMOrganization, DRAMTimings
+from repro.dram.bank import Bank, ROW_CLOSED, ROW_CONFLICT, ROW_HIT
+from repro.dram.stats import ChannelStats
+
+
+class RowState(IntEnum):
+    """Public row-state names (mirrors the int constants in bank.py)."""
+
+    HIT = ROW_HIT
+    CLOSED = ROW_CLOSED
+    CONFLICT = ROW_CONFLICT
+
+
+# Bus direction states.
+_DIR_NONE = 0
+_DIR_READ = 1
+_DIR_WRITE = 2
+
+
+class Channel:
+    """One channel: ``ranks_per_channel * banks_per_rank`` banks + data bus."""
+
+    __slots__ = ("timings", "org", "banks", "bus_free", "bus_dir", "stats",
+                 "_last_read_end", "_last_write_end")
+
+    def __init__(self, timings: DRAMTimings, org: DRAMOrganization):
+        self.timings = timings
+        self.org = org
+        nbanks = org.ranks_per_channel * org.banks_per_rank
+        self.banks = [Bank(timings) for _ in range(nbanks)]
+        self.bus_free: int = 0          # end of the last burst
+        self.bus_dir: int = _DIR_NONE
+        self._last_read_end: int = 0
+        self._last_write_end: int = 0
+        self.stats = ChannelStats()
+
+    # -- queries (no mutation) ------------------------------------------------
+
+    def bank_index(self, rank: int, bank: int) -> int:
+        return rank * self.org.banks_per_rank + bank
+
+    def row_state(self, rank: int, bank: int, row: int) -> RowState:
+        """Row-buffer state an access to (rank, bank, row) would see now."""
+        return RowState(self.banks[self.bank_index(rank, bank)].row_state(row))
+
+    def estimate_burst_start(self, rank: int, bank: int, row: int,
+                             is_write: bool, now: int) -> int:
+        """Earliest burst start for the access (pure query, for schedulers)."""
+        b = self.banks[self.bank_index(rank, bank)]
+        cas = b.earliest_cas(row, now)
+        return self._bus_constrained_start(cas + self.timings.tCAS, is_write)
+
+    def _bus_constrained_start(self, data_ready: int, is_write: bool) -> int:
+        """Fold bus-free time and turnaround penalties into a burst start."""
+        t = self.timings
+        start = max(data_ready, self.bus_free)
+        if is_write:
+            if self.bus_dir == _DIR_READ:
+                start = max(start, self._last_read_end + t.tRTW)
+        else:
+            if self.bus_dir == _DIR_WRITE:
+                start = max(start, self._last_write_end + t.tWTR)
+        return start
+
+    # -- commit ---------------------------------------------------------------
+
+    def issue(self, rank: int, bank: int, row: int, is_write: bool,
+              now: int) -> tuple[int, int]:
+        """Commit an access; returns ``(burst_start, burst_end)``.
+
+        ``burst_end`` is when read data has fully returned / write data has
+        been fully transferred — the completion time a request state machine
+        should wait on.
+        """
+        t = self.timings
+        b = self.banks[self.bank_index(rank, bank)]
+        state = b.row_state(row)
+
+        cas = b.earliest_cas(row, now)
+        start = self._bus_constrained_start(cas + t.tCAS, is_write)
+        end = start + t.tBURST
+        # Back-date the effective CAS so bank bookkeeping (tRTP/tWR windows)
+        # lines up with the actual burst position on the bus.
+        eff_cas = start - t.tCAS
+        b.commit(row, eff_cas, is_write, end)
+
+        # Bus + turnaround accounting.
+        new_dir = _DIR_WRITE if is_write else _DIR_READ
+        if self.bus_dir != _DIR_NONE and self.bus_dir != new_dir:
+            self.stats.turnarounds += 1
+        self.bus_dir = new_dir
+        self.bus_free = end
+        if is_write:
+            self._last_write_end = end
+        else:
+            self._last_read_end = end
+        self.stats.bus_busy_ps += t.tBURST
+
+        # Row-state + access-type stats.
+        s = self.stats
+        if is_write:
+            s.write_accesses += 1
+            if state == ROW_HIT:
+                s.write_row_hits += 1
+            elif state == ROW_CLOSED:
+                s.write_row_closed += 1
+            else:
+                s.write_row_conflicts += 1
+        else:
+            s.read_accesses += 1
+            if state == ROW_HIT:
+                s.read_row_hits += 1
+            elif state == ROW_CLOSED:
+                s.read_row_closed += 1
+            else:
+                s.read_row_conflicts += 1
+        return start, end
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,37 @@
+"""The whole stacked-DRAM device: channels + the address mapper."""
+
+from __future__ import annotations
+
+from repro.config import DRAMOrganization, DRAMTimings
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.channel import Channel
+from repro.dram.stats import ChannelStats
+
+
+class DRAMDevice:
+    """All channels of the stacked DRAM plus address decoding.
+
+    The controller owns one queue pair per channel; the device provides the
+    timing substrate those queues schedule onto.
+    """
+
+    def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
+                 xor_remap: bool = False):
+        self.timings = timings
+        self.org = org
+        self.mapper = AddressMapper(org, xor_remap=xor_remap)
+        self.channels = [Channel(timings, org) for _ in range(org.channels)]
+
+    def decode(self, addr: int) -> DecodedAddress:
+        return self.mapper.decode(addr)
+
+    def channel(self, idx: int) -> Channel:
+        return self.channels[idx]
+
+    def total_stats(self) -> ChannelStats:
+        """Aggregate substrate counters across channels."""
+        return ChannelStats.sum([c.stats for c in self.channels])
+
+    def reset_stats(self) -> None:
+        for c in self.channels:
+            c.reset_stats()

@@ -1,0 +1,11 @@
+"""Re-export of :class:`repro.config.DRAMTimings` under the dram package.
+
+The timing dataclass lives in :mod:`repro.config` alongside the rest of the
+Table II parameters so a single import gives a complete system description;
+this module exists so substrate code can do ``from repro.dram.timings
+import DRAMTimings`` without reaching across packages.
+"""
+
+from repro.config import DRAMTimings, ns
+
+__all__ = ["DRAMTimings", "ns"]

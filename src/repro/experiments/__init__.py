@@ -1,0 +1,34 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every artefact in the paper's evaluation section has an experiment ID:
+
+====== ==========================================================
+ID     paper artefact
+====== ==========================================================
+table1 Table I   workload mixes
+table2 Table II  system parameters
+fig08  Fig. 8    average speedup (CD/ROD/DCA x SA/DM)
+fig09  Fig. 9    average speedup with XOR remapping
+fig10  Fig. 10   per-workload speedups, set-associative
+fig11  Fig. 11   per-workload speedups, direct-mapped
+fig12  Fig. 12   L2 miss-latency improvement, set-associative
+fig13  Fig. 13   L2 miss-latency improvement, direct-mapped
+fig14  Fig. 14   accesses per turnaround, set-associative
+fig15  Fig. 15   accesses per turnaround, direct-mapped
+fig16  Fig. 16   row-buffer hit rate, set-associative
+fig17  Fig. 17   row-buffer hit rate, direct-mapped
+fig18  Fig. 18   DRAM tag accesses vs tag-cache size
+fig19  Fig. 19   speedup under Lee's DRAM-aware writeback
+====== ==========================================================
+
+Run from the command line::
+
+    python -m repro.experiments fig08 [--mixes 30] [--jobs 8] [--quick]
+
+Figures 8-17 share one simulation grid; results are cached on disk under
+``results/cache`` so subsequent figures reuse completed runs.
+"""
+
+from repro.experiments.common import SimParams, RunSpec, run_grid, run_one
+
+__all__ = ["SimParams", "RunSpec", "run_grid", "run_one"]

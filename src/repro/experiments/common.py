@@ -1,0 +1,252 @@
+"""Shared experiment machinery: run specs, caching, parallel execution.
+
+The evaluation figures 8-17 all read off the same **grid** of simulations
+(design x organization x remapping x mix), plus single-core *alone* runs
+for weighted-speedup denominators.  ``run_grid`` executes a list of
+:class:`RunSpec` with a process pool and a JSON disk cache keyed by the
+spec+parameter hash, so regenerating a second figure reuses the first's
+simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.config import scaled_config
+from repro.metrics.speedup import geomean, weighted_speedup
+from repro.sim.system import System, SystemResult
+from repro.workloads.profiles import PROFILES, profile
+from repro.workloads.table1 import TABLE1_MIXES, mix_profiles
+
+#: designs in the paper's presentation order
+DESIGNS = ("CD", "ROD", "DCA")
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Knobs shared by every run of one experiment invocation."""
+
+    capacity_scale: int = 8          # divide L2 + DRAM-cache capacity by this
+    footprint_scale: float = 1 / 20  # multiply workload footprints by this
+    warmup_insts: int = 20_000       # timed warm-up per core
+    measure_insts: int = 60_000      # measured instructions per core
+    replay_accesses: int = 12_000    # functional L2 warm-up per core
+
+    @classmethod
+    def quick(cls) -> "SimParams":
+        """Reduced sizes for benchmarks / smoke tests."""
+        return cls(warmup_insts=10_000, measure_insts=25_000,
+                   replay_accesses=6_000)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation point."""
+
+    design: str
+    organization: str = "sa"
+    xor_remap: bool = False
+    mix_id: Optional[int] = None          # Table I mix; None -> alone run
+    alone_benchmark: Optional[str] = None  # set for alone runs
+    lee_writeback: bool = False
+    scheduler: str = "bliss"
+    use_mapi: bool = True
+    seed: int = 0
+
+    def benchmarks(self):
+        if self.alone_benchmark is not None:
+            return [profile(self.alone_benchmark)]
+        if self.mix_id is None:
+            raise ValueError("spec needs mix_id or alone_benchmark")
+        return mix_profiles(self.mix_id)
+
+    def label(self) -> str:
+        name = ("XOR+" if self.xor_remap else "") + self.design
+        if self.lee_writeback:
+            name = "LEE+" + name
+        return name
+
+
+def run_one(spec: RunSpec, params: SimParams) -> SystemResult:
+    """Execute one simulation point (safe to call in a worker process)."""
+    cfg = scaled_config(params.capacity_scale)
+    seed = spec.seed if spec.seed else (spec.mix_id or 1)
+    system = System(
+        cfg, spec.design, spec.benchmarks(),
+        organization=spec.organization, xor_remap=spec.xor_remap,
+        use_mapi=spec.use_mapi, scheduler=spec.scheduler,
+        lee_writeback=spec.lee_writeback, seed=seed,
+        footprint_scale=params.footprint_scale)
+    result = system.run(warmup_insts=params.warmup_insts,
+                        measure_insts=params.measure_insts,
+                        replay_accesses=params.replay_accesses)
+    result.meta["spec"] = dataclasses.asdict(spec)
+    return result
+
+
+# ---------------------------------------------------------------- caching
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", "results/cache"))
+
+
+def _spec_key(spec: RunSpec, params: SimParams) -> str:
+    payload = json.dumps(
+        [dataclasses.asdict(spec), dataclasses.asdict(params)],
+        sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _load_cached(key: str, cache_dir: Path) -> Optional[SystemResult]:
+    path = cache_dir / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+        return SystemResult(**data)
+    except (json.JSONDecodeError, TypeError):
+        return None
+
+
+def _store_cached(key: str, result: SystemResult, cache_dir: Path) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tmp = cache_dir / f"{key}.tmp"
+    tmp.write_text(json.dumps(dataclasses.asdict(result)))
+    tmp.replace(cache_dir / f"{key}.json")
+
+
+def _worker(args):
+    spec, params = args
+    return run_one(spec, params)
+
+
+def run_grid(specs: Sequence[RunSpec], params: SimParams,
+             jobs: int = 0, use_cache: bool = True,
+             progress: bool = False) -> dict[RunSpec, SystemResult]:
+    """Run many simulation points, with caching and multiprocessing."""
+    cache_dir = default_cache_dir()
+    out: dict[RunSpec, SystemResult] = {}
+    todo: list[RunSpec] = []
+    for spec in specs:
+        if use_cache:
+            cached = _load_cached(_spec_key(spec, params), cache_dir)
+            if cached is not None:
+                out[spec] = cached
+                continue
+        todo.append(spec)
+
+    if todo:
+        if jobs <= 0:
+            jobs = min(8, os.cpu_count() or 1)
+        if jobs == 1 or len(todo) == 1:
+            results = map(_worker, [(s, params) for s in todo])
+            for i, (spec, result) in enumerate(zip(todo, results)):
+                out[spec] = result
+                if use_cache:
+                    _store_cached(_spec_key(spec, params), result, cache_dir)
+                if progress:
+                    print(f"  [{i + 1}/{len(todo)}] {spec.label()} done",
+                          flush=True)
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = pool.map(_worker, [(s, params) for s in todo])
+                for i, (spec, result) in enumerate(zip(todo, results)):
+                    out[spec] = result
+                    if use_cache:
+                        _store_cached(_spec_key(spec, params), result,
+                                      cache_dir)
+                    if progress:
+                        print(f"  [{i + 1}/{len(todo)}] {spec.label()} done",
+                              flush=True)
+    return out
+
+
+# ---------------------------------------------------------------- speedups
+
+def alone_specs(organization: str, xor_remap: bool = False,
+                lee_writeback: bool = False) -> list[RunSpec]:
+    """Single-core runs for WS denominators (CD baseline, see DESIGN.md)."""
+    return [RunSpec("CD", organization, xor_remap,
+                    alone_benchmark=name, lee_writeback=lee_writeback,
+                    seed=97 + i)
+            for i, name in enumerate(sorted(PROFILES))]
+
+
+def alone_ipc_table(results: dict[RunSpec, SystemResult]) -> dict[str, float]:
+    """benchmark name -> alone IPC, from alone-run results."""
+    table = {}
+    for spec, res in results.items():
+        if spec.alone_benchmark is not None:
+            table[spec.alone_benchmark] = res.ipcs[0]
+    return table
+
+
+def mix_weighted_speedup(result: SystemResult,
+                         alone: dict[str, float]) -> float:
+    """WS of one mix result against the alone-IPC table."""
+    alone_ipcs = [alone[name] for name in result.benchmarks]
+    return weighted_speedup(result.ipcs, alone_ipcs)
+
+
+def grid_specs(mixes: Sequence[int], organizations: Sequence[str],
+               remaps: Sequence[bool] = (False,),
+               designs: Sequence[str] = DESIGNS,
+               lee_writeback: bool = False) -> list[RunSpec]:
+    """The cross product driving Figs. 8-17 (and 19 with lee_writeback)."""
+    return [RunSpec(d, org, rm, mix_id=m, lee_writeback=lee_writeback)
+            for org in organizations
+            for rm in remaps
+            for d in designs
+            for m in mixes]
+
+
+def normalized_speedup_table(
+        results: dict[RunSpec, SystemResult],
+        alone: dict[str, float],
+        mixes: Sequence[int], organization: str,
+        variants: Sequence[tuple[str, bool]],
+        baseline: tuple[str, bool] = ("CD", False),
+        lee_writeback: bool = False,
+) -> dict[tuple[str, bool], float]:
+    """Geomean normalized WS per (design, remap) variant (Figs. 8/9/19)."""
+    def ws_list(design: str, remap: bool) -> list[float]:
+        out = []
+        for m in mixes:
+            spec = RunSpec(design, organization, remap, mix_id=m,
+                           lee_writeback=lee_writeback)
+            out.append(mix_weighted_speedup(results[spec], alone))
+        return out
+
+    base = ws_list(*baseline)
+    table = {}
+    for design, remap in variants:
+        ws = ws_list(design, remap)
+        table[(design, remap)] = geomean([a / b for a, b in zip(ws, base)])
+    return table
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Minimal fixed-width ASCII table used by every experiment's report."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for c, cell in zip(cols, row):
+            c.append(str(cell))
+    widths = [max(len(v) for v in c) for c in cols]
+    def fmt_row(vals):
+        return "  ".join(str(v).ljust(w) for v, w in zip(vals, widths))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)

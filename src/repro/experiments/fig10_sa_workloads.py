@@ -1,0 +1,17 @@
+"""Fig. 10 — per-workload speedups, set-associative organization."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.perworkload import run_org
+
+ID = "fig10"
+TITLE = "Fig. 10: per-workload speedup, set-associative (normalized to CD)"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("sa", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

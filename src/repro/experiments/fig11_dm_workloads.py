@@ -1,0 +1,17 @@
+"""Fig. 11 — per-workload speedups, direct-mapped organization."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.perworkload import run_org
+
+ID = "fig11"
+TITLE = "Fig. 11: per-workload speedup, direct-mapped (normalized to CD)"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("dm", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,17 @@
+"""Fig. 12 — L2 miss-latency improvement, set-associative."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.misslat import run_org
+
+ID = "fig12"
+TITLE = "Fig. 12: L2 miss latency improvement, set-associative (vs CD)"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("sa", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,17 @@
+"""Fig. 13 — L2 miss-latency improvement, direct-mapped."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.misslat import run_org
+
+ID = "fig13"
+TITLE = "Fig. 13: L2 miss latency improvement, direct-mapped (vs CD)"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("dm", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,17 @@
+"""Fig. 14 — accesses per turnaround, set-associative."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.turnaround import run_org
+
+ID = "fig14"
+TITLE = "Fig. 14: accesses per turnaround, set-associative"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("sa", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,17 @@
+"""Fig. 15 — accesses per turnaround, direct-mapped."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.turnaround import run_org
+
+ID = "fig15"
+TITLE = "Fig. 15: accesses per turnaround, direct-mapped"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("dm", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,17 @@
+"""Fig. 16 — row-buffer hit rate (reads), set-associative."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.rowhit import run_org
+
+ID = "fig16"
+TITLE = "Fig. 16: read row-buffer hit rate, set-associative"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("sa", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,17 @@
+"""Fig. 17 — row-buffer hit rate (reads), direct-mapped."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import SimParams
+from repro.experiments.rowhit import run_org
+
+ID = "fig17"
+TITLE = "Fig. 17: read row-buffer hit rate, direct-mapped"
+
+
+def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
+        progress: bool = False):
+    return run_org("dm", params, mixes, jobs=jobs, progress=progress,
+                   title=TITLE)

@@ -1,0 +1,75 @@
+"""Shared implementation of Figs. 10 and 11 — per-workload speedups.
+
+Both figures plot, for every Table I mix, the weighted speedup of all six
+variants (CD/ROD/DCA, each with and without remapping) normalized to plain
+CD on that mix; Fig. 10 is the set-associative organization, Fig. 11 the
+direct-mapped one.  Paper expectation: the ordering trends of Figs. 8/9
+hold across (nearly) all mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    DESIGNS,
+    RunSpec,
+    SimParams,
+    alone_ipc_table,
+    alone_specs,
+    format_table,
+    grid_specs,
+    mix_weighted_speedup,
+    run_grid,
+)
+from repro.workloads.table1 import mix_name
+
+VARIANTS = [("CD", False), ("ROD", False), ("DCA", False),
+            ("CD", True), ("ROD", True), ("DCA", True)]
+
+
+def _label(design: str, remap: bool) -> str:
+    return ("XOR+" if remap else "") + design
+
+
+def run_org(organization: str, params: SimParams, mixes: Sequence[int],
+            jobs: int = 0, progress: bool = False, title: str = ""):
+    specs = grid_specs(mixes, (organization,), remaps=(False, True))
+    specs += alone_specs(organization)
+    results = run_grid(specs, params, jobs=jobs, progress=progress)
+    alone = alone_ipc_table(
+        {s: r for s, r in results.items() if s.alone_benchmark})
+
+    per_mix: dict[int, dict[str, float]] = {}
+    for m in mixes:
+        base = mix_weighted_speedup(
+            results[RunSpec("CD", organization, False, mix_id=m)], alone)
+        per_mix[m] = {}
+        for design, remap in VARIANTS:
+            spec = RunSpec(design, organization, remap, mix_id=m)
+            per_mix[m][_label(design, remap)] = (
+                mix_weighted_speedup(results[spec], alone) / base)
+
+    labels = [_label(d, r) for d, r in VARIANTS]
+    rows = []
+    for m in mixes:
+        rows.append([f"mix{m:02d}", mix_name(m)[:34]]
+                    + [f"{per_mix[m][lab]:.3f}" for lab in labels])
+    report = format_table(["mix", "benchmarks"] + labels, rows, title=title)
+
+    data = {"mixes": list(mixes),
+            "per_mix": {str(m): per_mix[m] for m in mixes}}
+
+    n = len(mixes)
+    dca_beats_cd = sum(per_mix[m]["DCA"] > 1.0 for m in mixes)
+    dca_best = sum(
+        max(per_mix[m]["DCA"], per_mix[m]["XOR+DCA"])
+        >= max(per_mix[m][lab] for lab in labels) - 1e-9
+        for m in mixes)
+    checks = [
+        (f"DCA beats CD on >=80% of mixes ({dca_beats_cd}/{n})",
+         dca_beats_cd >= 0.8 * n),
+        (f"a DCA variant is the best on >=60% of mixes ({dca_best}/{n})",
+         dca_best >= 0.6 * n),
+    ]
+    return report, data, checks

@@ -1,0 +1,117 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments <id> [...ids|all] [options]
+    dca-repro fig08 --mixes 30 --jobs 8
+
+Reports are printed and written to ``results/<id>.txt`` (+ ``.json``).
+Each experiment also evaluates its shape checks (the qualitative claims
+the paper makes about that figure) and reports PASS/FAIL per claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import common
+from repro.experiments import (
+    fig08_speedup, fig09_remap, fig10_sa_workloads, fig11_dm_workloads,
+    fig12_misslat_sa, fig13_misslat_dm, fig14_turnaround_sa,
+    fig15_turnaround_dm, fig16_rowhit_sa, fig17_rowhit_dm,
+    fig18_tagcache, fig19_lee, table1_workloads, table2_params,
+)
+
+MODULES = {m.ID: m for m in (
+    table1_workloads, table2_params,
+    fig08_speedup, fig09_remap, fig10_sa_workloads, fig11_dm_workloads,
+    fig12_misslat_sa, fig13_misslat_dm, fig14_turnaround_sa,
+    fig15_turnaround_dm, fig16_rowhit_sa, fig17_rowhit_dm,
+    fig18_tagcache, fig19_lee,
+)}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="dca-repro",
+        description="Regenerate tables/figures of the DCA paper (SC'16).")
+    p.add_argument("ids", nargs="+",
+                   help=f"experiment ids ({', '.join(MODULES)}) or 'all'")
+    p.add_argument("--mixes", type=int, default=30,
+                   help="number of Table I mixes to simulate (default 30)")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = auto)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced instruction budgets (smoke-test scale)")
+    p.add_argument("--measure", type=int, default=None,
+                   help="measured instructions per core")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the results cache")
+    p.add_argument("--out", default="results",
+                   help="output directory (default ./results)")
+    return p
+
+
+def run_experiment(exp_id: str, params: common.SimParams, mixes: list[int],
+                   jobs: int, out_dir: Path, use_cache: bool = True) -> bool:
+    mod = MODULES[exp_id]
+    print(f"=== {exp_id}: {mod.TITLE}")
+    t0 = time.time()
+    if use_cache:
+        report, data, checks = mod.run(params, mixes, jobs=jobs,
+                                       progress=True)
+    else:
+        import unittest.mock as _mock
+        with _mock.patch.object(common, "default_cache_dir",
+                                lambda: out_dir / "cache-disabled"):
+            report, data, checks = mod.run(params, mixes, jobs=jobs,
+                                           progress=True)
+    elapsed = time.time() - t0
+    print(report)
+    ok = True
+    for desc, passed in checks:
+        print(f"  [{'PASS' if passed else 'FAIL'}] {desc}")
+        ok = ok and passed
+    print(f"  ({elapsed:.1f}s)\n")
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{exp_id}.txt").write_text(
+        report + "\n" + "\n".join(
+            f"[{'PASS' if p else 'FAIL'}] {d}" for d, p in checks) + "\n")
+    (out_dir / f"{exp_id}.json").write_text(json.dumps(
+        {"id": exp_id, "title": mod.TITLE, "data": data,
+         "checks": {d: p for d, p in checks}, "elapsed_s": elapsed},
+        indent=2, default=str))
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    ids = list(MODULES) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in MODULES]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {list(MODULES)}",
+              file=sys.stderr)
+        return 2
+
+    params = common.SimParams.quick() if args.quick else common.SimParams()
+    if args.measure:
+        import dataclasses
+        params = dataclasses.replace(params, measure_insts=args.measure)
+    mixes = list(range(1, min(args.mixes, 30) + 1))
+    out_dir = Path(args.out)
+
+    all_ok = True
+    for exp_id in ids:
+        ok = run_experiment(exp_id, params, mixes, args.jobs, out_dir,
+                            use_cache=not args.no_cache)
+        all_ok = all_ok and ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

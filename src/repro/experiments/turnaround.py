@@ -1,0 +1,48 @@
+"""Shared implementation of Figs. 14 and 15 — accesses per turnaround.
+
+The paper reports read/write accesses per bus turnaround (higher is
+better) for CD, ROD and DCA *without* remapping (it notes remapping does
+not change turnaround counts).  Expected shape: CD and DCA process several
+times more accesses per turnaround than ROD (paper: ROD ~ a third of CD;
+DCA ~ CD).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    DESIGNS,
+    RunSpec,
+    SimParams,
+    format_table,
+    grid_specs,
+    run_grid,
+)
+from repro.metrics.speedup import geomean
+
+
+def run_org(organization: str, params: SimParams, mixes: Sequence[int],
+            jobs: int = 0, progress: bool = False, title: str = ""):
+    specs = grid_specs(mixes, (organization,))
+    results = run_grid(specs, params, jobs=jobs, progress=progress)
+
+    apt: dict[str, float] = {}
+    for design in DESIGNS:
+        vals = [results[RunSpec(design, organization, False, mix_id=m)]
+                .accesses_per_turnaround for m in mixes]
+        apt[design] = geomean(vals)
+
+    rows = [[d, f"{apt[d]:.1f}"] for d in DESIGNS]
+    report = format_table(
+        ["design", "accesses per turnaround (higher is better)"],
+        rows, title=title)
+    data = {"mixes": list(mixes), "accesses_per_turnaround": apt}
+
+    checks = [
+        ("CD >> ROD (ROD pays frequent turnarounds)",
+         apt["CD"] > 1.4 * apt["ROD"]),
+        ("DCA comparable to or better than CD", apt["DCA"] >= 0.9 * apt["CD"]),
+        ("DCA >> ROD", apt["DCA"] > 1.4 * apt["ROD"]),
+    ]
+    return report, data, checks

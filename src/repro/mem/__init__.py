@@ -1,0 +1,24 @@
+"""Memory hierarchy around the DRAM cache.
+
+* :mod:`repro.mem.sram` — private L1 / shared L2 SRAM caches (write-back,
+  write-allocate, LRU);
+* :mod:`repro.mem.mshr` — miss-status holding registers with same-block
+  coalescing;
+* :mod:`repro.mem.mainmem` — the off-chip memory (50 ns + a 2 GHz/64-bit
+  bus, Table II);
+* :mod:`repro.mem.llc_writeback` — Lee et al.'s DRAM-aware LLC writeback
+  policy used in the paper's Fig. 19 study.
+"""
+
+from repro.mem.mainmem import MainMemory, MainMemoryStats
+from repro.mem.sram import SRAMCache
+from repro.mem.mshr import MSHRFile
+from repro.mem.llc_writeback import DRAMAwareWritebackIndex
+
+__all__ = [
+    "MainMemory",
+    "MainMemoryStats",
+    "SRAMCache",
+    "MSHRFile",
+    "DRAMAwareWritebackIndex",
+]

@@ -1,0 +1,81 @@
+"""Lee et al.'s DRAM-aware last-level-cache writeback (Fig. 19 study).
+
+Lee, Narasiman, Ebrahimi, Mutlu & Patt (UT-Austin TR-HPS-2010-002) propose
+that when the LLC evicts a dirty line, it should *eagerly* also write back
+other dirty lines headed to the **same DRAM row**: the writes then drain
+as row-buffer hits in one bus direction, instead of trickling out later as
+scattered row conflicts mixed with reads.
+
+The mechanism here piggybacks on :class:`repro.mem.sram.SRAMCache`'s
+dirty-row index: on a demand eviction of a dirty block, up to
+``batch_limit`` other dirty blocks of the same DRAM-cache row are cleaned
+in place and emitted as additional writeback requests.
+
+The paper's Fig. 19 point is that this scheme, designed for conventional
+DRAM, does not resolve the *tag-access* problems unique to DRAM caches —
+a DCA controller still improves on it by ~7 % (direct-mapped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mem.sram import SRAMCache
+
+
+@dataclass
+class LeeWritebackStats:
+    triggers: int = 0          # demand dirty evictions examined
+    eager_writebacks: int = 0  # extra same-row writebacks emitted
+
+    @property
+    def batch_factor(self) -> float:
+        """Mean extra writebacks emitted per trigger."""
+        return self.eager_writebacks / self.triggers if self.triggers else 0.0
+
+
+class DRAMAwareWritebackIndex:
+    """Drives eager same-row writebacks out of an SRAMCache.
+
+    Parameters
+    ----------
+    cache:
+        The LLC (must have been built with a ``row_of`` mapping so its
+        dirty-row index is live).
+    row_of:
+        Maps a block address to its DRAM-cache row id (the same function
+        given to the cache).
+    batch_limit:
+        Maximum eager writebacks per trigger (Lee's scheme bounds the burst
+        so it cannot starve demand traffic).
+    """
+
+    def __init__(self, cache: SRAMCache, row_of: Callable[[int], int],
+                 batch_limit: int = 4):
+        if cache._row_of is None:
+            raise ValueError("cache must be constructed with row_of tracking")
+        self.cache = cache
+        self.row_of = row_of
+        self.batch_limit = batch_limit
+        self.stats = LeeWritebackStats()
+
+    def on_dirty_eviction(self, victim_addr: int) -> list[int]:
+        """A dirty line leaves the LLC: pick same-row dirty lines to clean.
+
+        Returns the block addresses to emit as *additional* writeback
+        requests; each has already been cleaned in the LLC (it stays
+        resident but is no longer dirty, exactly as in Lee's scheme).
+        """
+        self.stats.triggers += 1
+        row = self.row_of(victim_addr)
+        batch: list[int] = []
+        for addr in self.cache.dirty_in_row(row):
+            if addr == victim_addr:
+                continue
+            if len(batch) >= self.batch_limit:
+                break
+            if self.cache.clean(addr):
+                batch.append(addr)
+        self.stats.eager_writebacks += len(batch)
+        return batch

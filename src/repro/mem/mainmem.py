@@ -1,0 +1,76 @@
+"""Off-chip main memory (paper Table II: 50 ns latency, 2 GHz 64-bit bus).
+
+The paper models main memory below the DRAM cache as a flat 50 ns access
+behind the off-chip bus; contention for that bus is the only queuing
+effect.  A 64 B block occupies the 64-bit/2 GHz bus for 4 ns, so the model
+is a single-server queue: ``start = max(now, bus_free)``, data returns at
+``start + 50 ns``.
+
+Reads carry a completion callback (the DRAM-cache controller delivers the
+data to the L2 and spawns a refill); writes (dirty victims leaving the
+DRAM cache) are fire-and-forget but still consume bus slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import MainMemoryConfig
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class MainMemoryStats:
+    reads: int = 0
+    writes: int = 0
+    bus_busy_ps: int = 0
+    read_latency_sum_ps: int = 0
+
+    @property
+    def mean_read_latency_ps(self) -> float:
+        return self.read_latency_sum_ps / self.reads if self.reads else 0.0
+
+    def reset(self) -> None:
+        self.reads = self.writes = 0
+        self.bus_busy_ps = self.read_latency_sum_ps = 0
+
+
+class MainMemory:
+    """Flat-latency memory behind a bandwidth-limited off-chip bus."""
+
+    __slots__ = ("sim", "cfg", "_bus_free", "stats")
+
+    def __init__(self, sim: Simulator, cfg: MainMemoryConfig):
+        self.sim = sim
+        self.cfg = cfg
+        self._bus_free = 0
+        self.stats = MainMemoryStats()
+
+    def _claim_bus(self) -> int:
+        now = self.sim.now
+        start = max(now, self._bus_free)
+        self._bus_free = start + self.cfg.bus_occupancy_ps
+        self.stats.bus_busy_ps += self.cfg.bus_occupancy_ps
+        return start
+
+    def fetch(self, addr: int, on_done: Callable[[int], None]) -> int:
+        """Read one block; ``on_done(addr)`` fires when data returns.
+
+        Returns the completion time (useful for tests).
+        """
+        start = self._claim_bus()
+        done = start + self.cfg.latency_ps
+        self.stats.reads += 1
+        self.stats.read_latency_sum_ps += done - self.sim.now
+        self.sim.at(done, on_done, addr)
+        return done
+
+    def write(self, addr: int) -> int:
+        """Write one block (dirty victim); consumes a bus slot only."""
+        start = self._claim_bus()
+        self.stats.writes += 1
+        return start + self.cfg.latency_ps
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

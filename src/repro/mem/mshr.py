@@ -1,0 +1,73 @@
+"""Miss-status holding registers (MSHRs) for the shared L2.
+
+MSHRs give the L2 its memory-level parallelism: each entry tracks one
+outstanding block miss; additional requests to the same block *coalesce*
+onto the existing entry instead of issuing duplicate DRAM-cache requests.
+When the file is full, new misses stall at the L2 (the core model sees the
+stall as back-pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class MSHREntry:
+    block_addr: int
+    issued_at: int
+    waiters: list  # (core, token) pairs notified on fill
+    any_write: bool = False  # a coalesced store: fill dirty
+
+
+class MSHRFile:
+    """Bounded set of outstanding block misses with coalescing."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.coalesced = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, block_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(block_addr)
+
+    def allocate(self, block_addr: int, now: int,
+                 is_write: bool = False) -> tuple[Optional[MSHREntry], bool]:
+        """Allocate or coalesce.
+
+        Returns ``(entry, fresh)``: ``fresh`` is True when a new entry was
+        created (the caller must issue the DRAM-cache request exactly
+        then).  Returns ``(None, False)`` — and counts a stall — when the
+        file is full.
+        """
+        entry = self._entries.get(block_addr)
+        if entry is not None:
+            self.coalesced += 1
+            entry.any_write = entry.any_write or is_write
+            return entry, False
+        if self.full:
+            self.full_stalls += 1
+            return None, False
+        entry = MSHREntry(block_addr, now, [], any_write=is_write)
+        self._entries[block_addr] = entry
+        self.allocations += 1
+        return entry, True
+
+    def complete(self, block_addr: int) -> MSHREntry:
+        """Remove the entry on fill; the caller notifies ``entry.waiters``."""
+        entry = self._entries.pop(block_addr, None)
+        if entry is None:
+            raise KeyError(f"no MSHR entry for block {block_addr:#x}")
+        return entry

@@ -1,0 +1,189 @@
+"""On-chip SRAM caches (private L1s, shared L2).
+
+A functional set-associative, write-back, write-allocate cache with true
+LRU.  Sets are materialised lazily (simulated footprints touch a sparse
+subset).  The cache is purely functional — latency is charged by the
+caller (core model / system wiring) so that the same class serves both
+levels.
+
+An optional *dirty-row index* supports Lee et al.'s DRAM-aware writeback
+policy (Fig. 19): it tracks, per DRAM-cache row, which dirty blocks the
+cache currently holds, so an eviction can be batched with other dirty
+blocks bound for the same row (see :mod:`repro.mem.llc_writeback`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import CacheGeometry
+
+
+@dataclass
+class SRAMCacheStats:
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = 0
+        self.evictions = self.dirty_evictions = 0
+
+
+class SRAMCache:
+    """Set-associative LRU cache; returns the victim on allocating misses."""
+
+    def __init__(self, geom: CacheGeometry,
+                 row_of: Optional[Callable[[int], int]] = None):
+        self.geom = geom
+        self.num_sets = geom.num_sets
+        self.block = geom.block_bytes
+        # set idx -> list of [tag, dirty, stamp]
+        self._sets: dict[int, list[list]] = {}
+        self._clock = 0
+        self.stats = SRAMCacheStats()
+        # Optional Lee-writeback support: addr -> DRAM row, and the index.
+        self._row_of = row_of
+        self._dirty_rows: dict[int, set[int]] = {}
+
+    # -- address helpers ----------------------------------------------------------
+
+    def _set_of(self, addr: int) -> int:
+        return (addr // self.block) % self.num_sets
+
+    def _tag_of(self, addr: int) -> int:
+        return (addr // self.block) // self.num_sets
+
+    def _addr_of(self, set_idx: int, tag: int) -> int:
+        return (tag * self.num_sets + set_idx) * self.block
+
+    # -- dirty-row index ------------------------------------------------------------
+
+    def _track_dirty(self, addr: int) -> None:
+        if self._row_of is not None:
+            self._dirty_rows.setdefault(self._row_of(addr), set()).add(addr)
+
+    def _untrack_dirty(self, addr: int) -> None:
+        if self._row_of is not None:
+            row = self._row_of(addr)
+            blocks = self._dirty_rows.get(row)
+            if blocks is not None:
+                blocks.discard(addr)
+                if not blocks:
+                    del self._dirty_rows[row]
+
+    def dirty_in_row(self, row: int) -> list[int]:
+        """Dirty block addresses currently mapping to DRAM row ``row``."""
+        return sorted(self._dirty_rows.get(row, ()))
+
+    # -- operations -----------------------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        """Hit check without state change."""
+        s = self._sets.get(self._set_of(addr))
+        if s is None:
+            return False
+        tag = self._tag_of(addr)
+        return any(e[0] == tag for e in s)
+
+    def touch(self, addr: int, is_write: bool) -> bool:
+        """Reference without allocating on a miss (allocate-on-fill mode).
+
+        On a hit, LRU and dirty state update as usual; on a miss the cache
+        is unchanged — the caller tracks the miss in an MSHR and calls
+        :meth:`fill` when the data arrives.
+        """
+        self.stats.accesses += 1
+        s = self._sets.get(self._set_of(addr))
+        if s is not None:
+            tag = self._tag_of(addr)
+            for e in s:
+                if e[0] == tag:
+                    self.stats.hits += 1
+                    self._clock += 1
+                    e[2] = self._clock
+                    if is_write and not e[1]:
+                        e[1] = True
+                        self._track_dirty(addr)
+                    return True
+        return False
+
+    def access(self, addr: int, is_write: bool) -> tuple[bool, Optional[int]]:
+        """Reference ``addr``; allocate on miss.
+
+        Returns ``(hit, dirty_victim_addr)``.  ``dirty_victim_addr`` is the
+        block address of a dirty line displaced by this access (the caller
+        turns it into a writeback request), or None.
+        """
+        self.stats.accesses += 1
+        set_idx = self._set_of(addr)
+        tag = self._tag_of(addr)
+        s = self._sets.setdefault(set_idx, [])
+        self._clock += 1
+        for e in s:
+            if e[0] == tag:
+                self.stats.hits += 1
+                e[2] = self._clock
+                if is_write and not e[1]:
+                    e[1] = True
+                    self._track_dirty(addr)
+                return True, None
+        # Miss: allocate (write-allocate for stores too).
+        victim_addr = None
+        if len(s) >= self.geom.assoc:
+            victim = min(s, key=lambda e: e[2])
+            s.remove(victim)
+            self.stats.evictions += 1
+            vaddr = self._addr_of(set_idx, victim[0])
+            if victim[1]:
+                self.stats.dirty_evictions += 1
+                self._untrack_dirty(vaddr)
+                victim_addr = vaddr
+        s.append([tag, is_write, self._clock])
+        if is_write:
+            self._track_dirty(addr)
+        return False, victim_addr
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Insert a block (refill path); returns a dirty victim address."""
+        hit, victim = self.access(addr, dirty)
+        return victim
+
+    def clean(self, addr: int) -> bool:
+        """Clear the dirty bit (Lee's eager writeback cleans lines in place).
+
+        Returns True if the line was present and dirty.
+        """
+        s = self._sets.get(self._set_of(addr))
+        if s is None:
+            return False
+        tag = self._tag_of(addr)
+        for e in s:
+            if e[0] == tag and e[1]:
+                e[1] = False
+                self._untrack_dirty(addr)
+                return True
+        return False
+
+    def invalidate(self, addr: int) -> bool:
+        s = self._sets.get(self._set_of(addr))
+        if s is None:
+            return False
+        tag = self._tag_of(addr)
+        for e in s:
+            if e[0] == tag:
+                if e[1]:
+                    self._untrack_dirty(addr)
+                s.remove(e)
+                return True
+        return False
+
+    def dirty_count(self) -> int:
+        """Number of dirty lines (O(cache); tests only)."""
+        return sum(1 for s in self._sets.values() for e in s if e[1])

@@ -1,0 +1,9 @@
+"""Performance metrics: weighted speedup, geometric means, aggregation."""
+
+from repro.metrics.speedup import (
+    geomean,
+    normalized_weighted_speedups,
+    weighted_speedup,
+)
+
+__all__ = ["geomean", "weighted_speedup", "normalized_weighted_speedups"]

@@ -1,0 +1,67 @@
+"""Multiprogrammed-performance metrics.
+
+The paper reports **normalized weighted speedups** (Eyerman & Eeckhout,
+CAL'14) averaged with the **geometric mean**:
+
+    WS(mix, design) = sum_i IPC_i(shared, design) / IPC_i(alone)
+    speedup(design) = geomean over mixes of WS(mix, design) / WS(mix, CD)
+
+The alone-IPC denominators are measured once per benchmark (single-core
+run on the baseline configuration); because the same denominators appear
+in every design's WS, the design-vs-design ratios the paper plots are
+unaffected by which baseline measured them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; rejects empty input and non-positive entries."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    total = 0.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(values))
+
+
+def weighted_speedup(shared_ipcs: Sequence[float],
+                     alone_ipcs: Sequence[float]) -> float:
+    """WS = sum_i shared_i / alone_i for one mix."""
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError("shared/alone IPC lists must align")
+    if not shared_ipcs:
+        raise ValueError("empty IPC lists")
+    ws = 0.0
+    for s, a in zip(shared_ipcs, alone_ipcs):
+        if a <= 0:
+            raise ValueError(f"alone IPC must be positive, got {a}")
+        ws += s / a
+    return ws
+
+
+def normalized_weighted_speedups(
+        ws_by_design: Mapping[str, Sequence[float]],
+        baseline: str = "CD") -> dict[str, float]:
+    """Geomean-normalized speedups vs. a baseline design.
+
+    ``ws_by_design`` maps design name -> per-mix weighted speedups (same
+    mix order for every design).  Returns design -> geomean(WS_design /
+    WS_baseline), i.e. exactly the bars of the paper's Figs. 8/9.
+    """
+    if baseline not in ws_by_design:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = ws_by_design[baseline]
+    out: dict[str, float] = {}
+    for design, ws_list in ws_by_design.items():
+        if len(ws_list) != len(base):
+            raise ValueError(
+                f"design {design} has {len(ws_list)} mixes, baseline has {len(base)}")
+        ratios = [w / b for w, b in zip(ws_list, base)]
+        out[design] = geomean(ratios)
+    return out

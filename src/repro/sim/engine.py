@@ -1,0 +1,143 @@
+"""Discrete-event simulation engine.
+
+A single global integer-picosecond timeline driven by a binary heap of
+events.  Events are ``(time, seq, callback, arg)`` tuples; ``seq`` breaks
+ties deterministically in insertion order, which makes every simulation
+bit-reproducible for a given seed.
+
+The engine deliberately has no notion of "processes" or coroutines: the
+memory system is naturally callback-shaped (an access completes -> the
+request state machine advances -> maybe new accesses enqueue -> maybe the
+scheduler issues), and plain callbacks are both the fastest and the
+simplest representation in CPython.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A cancellable scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "arg", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, arg: Any):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.arg = arg
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop.  All model components share one instance.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in picoseconds.  Monotonically
+        non-decreasing across callback invocations.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_run")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_run: int = 0
+
+    def at(self, time: int, fn: Callable, arg: Any = None) -> Event:
+        """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        ev = Event(time, self._seq, fn, arg)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay: int, fn: Callable, arg: Any = None) -> Event:
+        """Schedule ``fn(arg)`` ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, fn, arg)
+
+    def pending(self) -> int:
+        """Number of live events in the queue (cancelled ones may linger)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed so far (for progress reporting)."""
+        return self._events_run
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be strictly after this time
+            (the clock is left at ``until``).
+        max_events:
+            Safety valve for tests: stop after this many callbacks.
+
+        Returns
+        -------
+        int
+            The simulation time when the loop stopped.
+        """
+        heap = self._heap
+        budget = max_events if max_events is not None else -1
+        while heap:
+            ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and ev.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(heap)
+            self.now = ev.time
+            self._events_run += 1
+            ev.fn(ev.arg)
+            if budget > 0:
+                budget -= 1
+                if budget == 0:
+                    break
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def drain(self, fn: Callable[[], bool], check_every: int = 4096) -> int:
+        """Run until ``fn()`` returns True, checking every ``check_every`` events.
+
+        Used by the system harness to stop when all cores have retired
+        their instruction budgets without polling on every event.
+        """
+        heap = self._heap
+        counter = 0
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self._events_run += 1
+            ev.fn(ev.arg)
+            counter += 1
+            if counter >= check_every:
+                counter = 0
+                if fn():
+                    break
+        return self.now

@@ -1,0 +1,282 @@
+"""Full-system wiring: cores -> shared L2 -> DRAM-cache controller -> memory.
+
+One :class:`System` is one simulation: a multiprogrammed mix of benchmark
+traces (one per core), the shared L2 with MSHRs, the chosen DRAM-cache
+controller design over the stacked-DRAM substrate, and off-chip main
+memory.  The Fig. 19 variant installs Lee et al.'s DRAM-aware writeback
+policy at the L2.
+
+Timing notes:
+
+* L2 hit latency is charged to cores as an un-hidable fraction (OoO cores
+  hide most of a 20-cycle hit under MLP);
+* the L2's 20-cycle lookup on the *miss* path is a design-independent
+  constant adder and is folded out (all compared designs shift equally);
+* the on-chip bus (256-bit @ 4 GHz: 0.5 ns per block) is folded out for
+  the same reason.
+
+Warm-up: stats of every component reset when the *last* core crosses its
+warm-up budget; per-core IPC is measured from each core's own crossing to
+its own finish, matching the paper's fast-forward-then-measure flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core import make_controller
+from repro.core.access import CacheRequest, RequestType
+from repro.mem.llc_writeback import DRAMAwareWritebackIndex
+from repro.mem.mshr import MSHRFile
+from repro.mem.sram import SRAMCache
+from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
+from repro.sim.engine import Simulator
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.generator import make_trace
+
+
+@dataclass
+class SystemResult:
+    """Everything the experiment harness needs, as plain picklable data."""
+
+    design: str
+    organization: str
+    xor_remap: bool
+    benchmarks: list[str]
+    ipcs: list[float]
+    elapsed_ps: int
+    # controller-level
+    mean_read_latency_ps: float
+    dram_read_hit_rate: float
+    reads_done: int
+    writebacks: int
+    refills: int
+    read_priority_inversions: int
+    lr_ofs_issues: int
+    lr_drain_issues: int
+    # substrate-level
+    accesses_per_turnaround: float
+    read_row_hit_rate: float
+    turnarounds: int
+    dram_accesses: int
+    # hierarchy-level
+    l2_hit_rate: float
+    mainmem_reads: int
+    mainmem_writes: int
+    lee_eager_writebacks: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class System:
+    """A complete simulated machine for one workload mix."""
+
+    def __init__(self, cfg: SystemConfig, design: str,
+                 benchmarks: Sequence[BenchmarkProfile],
+                 organization: str = "sa", xor_remap: bool = False,
+                 use_mapi: bool = True, scheduler: str = "bliss",
+                 lee_writeback: bool = False, seed: int = 0,
+                 footprint_scale: float = 1.0, model_l1: bool = False):
+        if not benchmarks:
+            raise ValueError("need at least one benchmark")
+        cfg = replace(cfg, num_cores=len(benchmarks))
+        self.cfg = cfg
+        self.design = design.upper()
+        self.organization = organization
+        self.xor_remap = xor_remap
+        self.benchmarks = list(benchmarks)
+        self.sim = Simulator()
+        self.controller = make_controller(
+            design, self.sim, cfg, organization=organization,
+            xor_remap=xor_remap, use_mapi=use_mapi, scheduler=scheduler)
+
+        row_bytes = cfg.dram_cache.row_bytes
+        array = self.controller.array
+        self._row_of = lambda addr: array.tag_location(addr) // row_bytes
+        self.l2 = SRAMCache(cfg.l2,
+                            row_of=self._row_of if lee_writeback else None)
+        self.lee: Optional[DRAMAwareWritebackIndex] = None
+        if lee_writeback:
+            self.lee = DRAMAwareWritebackIndex(self.l2, self._row_of)
+        self.mshr = MSHRFile(cfg.l2_mshrs)
+        self.l1s = ([SRAMCache(cfg.l1) for _ in benchmarks]
+                    if model_l1 else None)
+
+        self._l2_stall_ps = round(cfg.l2.latency_cycles * cfg.cpu.cycle_ps
+                                  * cfg.cpu.l2_hit_stall_fraction)
+        self._block_mask = ~(cfg.l2.block_bytes - 1)
+
+        self._footprint_scale = footprint_scale
+        self.cores: list[Core] = []
+        for i, prof in enumerate(benchmarks):
+            trace = make_trace(prof, seed=seed * 1000003 + i * 7919 + 1,
+                               core_offset=i << 44,
+                               footprint_scale=footprint_scale)
+            self.cores.append(Core(self.sim, i, cfg.cpu, trace, self))
+
+        self._mshr_waiters: list[Core] = []
+        self._pending_entry = None
+        self._warmed = 0
+        self._finished = 0
+
+    # ------------------------------------------------------------- memory path
+
+    def mem_access(self, core: Core, addr: int, is_write: bool,
+                   pc: int) -> tuple[int, int]:
+        """The core-facing memory operation.  Returns (outcome, stall_ps)."""
+        addr &= self._block_mask
+        if self.l1s is not None:
+            l1 = self.l1s[core.core_id]
+            hit, victim = l1.access(addr, is_write)
+            if victim is not None:
+                # L1 dirty victim: write-through into the L2 functionally
+                # (an L2 miss on this path allocates directly — the victim
+                # travels with its data, no fetch needed).
+                if not self.l2.touch(victim, True):
+                    wb_victim = self.l2.fill(victim, dirty=True)
+                    if wb_victim is not None:
+                        self._emit_writebacks(wb_victim, core.core_id)
+            if hit:
+                return L2_HIT, 0
+            is_write = False  # L1 write-allocate turns the L2 access into a fetch
+
+        if self.l2.touch(addr, is_write):
+            return L2_HIT, self._l2_stall_ps
+
+        entry, fresh = self.mshr.allocate(addr, self.sim.now,
+                                          is_write=is_write)
+        if entry is None:
+            return MSHR_FULL, 0
+        self._pending_entry = entry
+        if fresh:
+            req = CacheRequest(RequestType.READ, addr, core.core_id, pc=pc,
+                               on_done=self._l2_fill_done)
+            self.controller.submit(req)
+        return MISS, 0
+
+    def register_load(self, core: Core, token: int) -> None:
+        """Attach the issuing load to the MSHR entry just touched."""
+        self._pending_entry.waiters.append((core, token))
+
+    def wait_for_mshr(self, core: Core) -> None:
+        self._mshr_waiters.append(core)
+
+    def _l2_fill_done(self, req: CacheRequest) -> None:
+        """DRAM cache (or memory) returned data for an L2 miss."""
+        entry = self.mshr.complete(req.addr)
+        victim = self.l2.fill(req.addr, dirty=entry.any_write)
+        if victim is not None:
+            self._emit_writebacks(victim, req.core_id)
+        for core, token in entry.waiters:
+            core.load_done(token)
+        if self._mshr_waiters:
+            waiters, self._mshr_waiters = self._mshr_waiters, []
+            for core in waiters:
+                core.mshr_freed()
+
+    def _emit_writebacks(self, victim_addr: int, core_id: int) -> None:
+        """Dirty L2 eviction -> DRAM-cache writeback (+ Lee's row batch)."""
+        self.controller.submit(
+            CacheRequest(RequestType.WRITEBACK, victim_addr, core_id))
+        if self.lee is not None:
+            for addr in self.lee.on_dirty_eviction(victim_addr):
+                self.controller.submit(
+                    CacheRequest(RequestType.WRITEBACK, addr, core_id))
+
+    # ------------------------------------------------------------- lifecycle
+
+    def core_warmed(self, _core: Core) -> None:
+        self._warmed += 1
+        if self._warmed == len(self.cores):
+            self.controller.reset_stats()
+            self.controller.mainmem.reset_stats()
+            self.l2.stats.reset()
+
+    def core_finished(self, _core: Core) -> None:
+        self._finished += 1
+
+    def functional_warmup(self, replay_accesses: int = 20_000,
+                          prefill: bool = True) -> None:
+        """Warm caches without timing, like the paper's fast-forward phase.
+
+        ``prefill`` bulk-inserts each benchmark's footprint into the
+        DRAM-cache array (vectorised; models the steady-state contents a
+        4-billion-instruction fast-forward would leave behind).  The
+        *replay* then consumes ``replay_accesses`` operations from each
+        core's trace through the functional L2 + DRAM-cache state, warming
+        L2 contents, dirty bits and stream positions.
+        """
+        array = self.controller.array
+        scale = self._footprint_scale
+        if prefill:
+            for i, prof in enumerate(self.benchmarks):
+                n_blocks = max(1024, int(prof.footprint_bytes * scale)
+                               // self.cfg.l2.block_bytes)
+                array.bulk_fill(i << 44, n_blocks,
+                                dirty_fraction=prof.store_fraction,
+                                seed=i + 1)
+        l2 = self.l2
+        for core in self.cores:
+            trace = core.trace
+            for _ in range(replay_accesses):
+                _gap, addr, is_write, _pc = next(trace)
+                addr &= self._block_mask
+                if not l2.touch(addr, is_write):
+                    victim = l2.fill(addr, dirty=is_write)
+                    if victim is not None:
+                        if not array.lookup_write(victim).hit:
+                            array.fill(victim, dirty=True)
+                    if not array.lookup_read(addr).hit:
+                        array.fill(addr, dirty=False)
+        array.reset_counters()
+        l2.stats.reset()
+
+    def run(self, warmup_insts: int = 20_000,
+            measure_insts: int = 200_000,
+            functional_warmup: bool = True,
+            replay_accesses: int = 20_000) -> SystemResult:
+        """Simulate until every core retires its budget; gather metrics.
+
+        ``warmup_insts`` is the *timed* warm-up (queues, predictors, row
+        buffers reach steady state; stats reset at its end); the functional
+        warm-up handles cache contents (see :meth:`functional_warmup`).
+        """
+        if functional_warmup:
+            self.functional_warmup(replay_accesses=replay_accesses)
+        for core in self.cores:
+            core.start(warmup_insts, measure_insts)
+        self.sim.drain(lambda: self._finished >= len(self.cores),
+                       check_every=1024)
+        return self._result()
+
+    def _result(self) -> SystemResult:
+        cs = self.controller.stats
+        ds = self.controller.device.total_stats()
+        hits, misses = cs.read_hits, cs.read_misses
+        mm = self.controller.mainmem.stats
+        return SystemResult(
+            design=self.design,
+            organization=self.organization,
+            xor_remap=self.xor_remap,
+            benchmarks=[b.name for b in self.benchmarks],
+            ipcs=[c.measured_ipc() for c in self.cores],
+            elapsed_ps=self.sim.now,
+            mean_read_latency_ps=cs.mean_read_latency_ps,
+            dram_read_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            reads_done=cs.reads_done,
+            writebacks=cs.writebacks_submitted,
+            refills=cs.refills_submitted,
+            read_priority_inversions=cs.read_priority_inversions,
+            lr_ofs_issues=cs.lr_ofs_issues,
+            lr_drain_issues=cs.lr_drain_issues,
+            accesses_per_turnaround=ds.accesses_per_turnaround,
+            read_row_hit_rate=ds.read_row_hit_rate,
+            turnarounds=ds.turnarounds,
+            dram_accesses=ds.total_accesses,
+            l2_hit_rate=self.l2.stats.hit_rate,
+            mainmem_reads=mm.reads,
+            mainmem_writes=mm.writes,
+            lee_eager_writebacks=(self.lee.stats.eager_writebacks
+                                  if self.lee else 0),
+        )

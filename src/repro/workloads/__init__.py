@@ -1,0 +1,15 @@
+"""Workloads: synthetic SPEC CPU2006 benchmark models and Table I mixes."""
+
+from repro.workloads.profiles import BenchmarkProfile, PROFILES, profile
+from repro.workloads.generator import make_trace
+from repro.workloads.table1 import TABLE1_MIXES, mix_profiles, mix_name
+
+__all__ = [
+    "BenchmarkProfile",
+    "PROFILES",
+    "profile",
+    "make_trace",
+    "TABLE1_MIXES",
+    "mix_profiles",
+    "mix_name",
+]

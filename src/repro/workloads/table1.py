@@ -1,0 +1,61 @@
+"""The paper's Table I: 30 four-core multiprogrammed workload mixes.
+
+Transcribed verbatim from the paper (two mixes per table row, numbered
+1..30 left-to-right, top-to-bottom).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import BenchmarkProfile, profile
+
+#: mix id (1-based) -> the four benchmarks run on cores 0..3.
+TABLE1_MIXES: dict[int, tuple[str, str, str, str]] = {
+    1:  ("soplex", "mcf", "gcc", "libquantum"),
+    2:  ("astar", "omnetpp", "GemsFDTD", "gcc"),
+    3:  ("mcf", "soplex", "astar", "leslie3d"),
+    4:  ("bwaves", "lbm", "libquantum", "leslie3d"),
+    5:  ("omnetpp", "milc", "leslie3d", "astar"),
+    6:  ("soplex", "astar", "lbm", "mcf"),
+    7:  ("lbm", "omnetpp", "leslie3d", "bwaves"),
+    8:  ("milc", "leslie3d", "omnetpp", "gcc"),
+    9:  ("bwaves", "astar", "gcc", "leslie3d"),
+    10: ("omnetpp", "libquantum", "mcf", "gcc"),
+    11: ("gcc", "libquantum", "lbm", "soplex"),
+    12: ("gcc", "leslie3d", "GemsFDTD", "soplex"),
+    13: ("lbm", "libquantum", "omnetpp", "bwaves"),
+    14: ("gcc", "mcf", "leslie3d", "milc"),
+    15: ("omnetpp", "mcf", "leslie3d", "lbm"),
+    16: ("libquantum", "lbm", "soplex", "astar"),
+    17: ("milc", "libquantum", "bwaves", "GemsFDTD"),
+    18: ("leslie3d", "astar", "libquantum", "bwaves"),
+    19: ("lbm", "gcc", "mcf", "libquantum"),
+    20: ("soplex", "astar", "GemsFDTD", "leslie3d"),
+    21: ("GemsFDTD", "astar", "leslie3d", "libquantum"),
+    22: ("libquantum", "milc", "lbm", "mcf"),
+    23: ("lbm", "libquantum", "leslie3d", "bwaves"),
+    24: ("milc", "leslie3d", "omnetpp", "bwaves"),
+    25: ("bwaves", "astar", "GemsFDTD", "leslie3d"),
+    26: ("gcc", "soplex", "libquantum", "milc"),
+    27: ("omnetpp", "lbm", "leslie3d", "GemsFDTD"),
+    28: ("soplex", "bwaves", "GemsFDTD", "leslie3d"),
+    29: ("GemsFDTD", "leslie3d", "libquantum", "milc"),
+    30: ("omnetpp", "bwaves", "leslie3d", "GemsFDTD"),
+}
+
+
+def mix_profiles(mix_id: int) -> list[BenchmarkProfile]:
+    """The four :class:`BenchmarkProfile` objects of one Table I mix."""
+    try:
+        names = TABLE1_MIXES[mix_id]
+    except KeyError:
+        raise KeyError(f"mix id must be 1..30, got {mix_id}") from None
+    return [profile(n) for n in names]
+
+
+def mix_name(mix_id: int) -> str:
+    """The paper's hyphenated mix label, e.g. ``soplex-mcf-gcc-libquantum``."""
+    return "-".join(TABLE1_MIXES[mix_id])
+
+
+def all_mix_ids() -> list[int]:
+    return sorted(TABLE1_MIXES)

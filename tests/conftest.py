@@ -1,0 +1,41 @@
+"""Shared fixtures: small configurations that keep tests fast."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    DRAMCacheGeometry,
+    DRAMOrganization,
+    DRAMTimings,
+    SystemConfig,
+    scaled_config,
+)
+
+
+@pytest.fixture
+def timings() -> DRAMTimings:
+    return DRAMTimings.stacked()
+
+
+@pytest.fixture
+def org() -> DRAMOrganization:
+    return DRAMOrganization()
+
+
+@pytest.fixture
+def tiny_cfg() -> SystemConfig:
+    """A miniature system: tiny caches, paper timings/queues."""
+    base = scaled_config(8)
+    return replace(
+        base,
+        l2=replace(base.l2, size_bytes=64 * 1024),
+        dram_cache=replace(base.dram_cache, size_bytes=4 * 2**20),
+    )
+
+
+@pytest.fixture
+def small_cache_geom() -> DRAMCacheGeometry:
+    return DRAMCacheGeometry(size_bytes=4 * 2**20)

@@ -1,0 +1,146 @@
+"""RoBaRaChCo address mapping and the XOR permutation remapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DRAMOrganization
+from repro.dram.address import AddressMapper, DecodedAddress
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DRAMOrganization())
+
+
+@pytest.fixture
+def xor_mapper():
+    return AddressMapper(DRAMOrganization(), xor_remap=True)
+
+
+class TestLayout:
+    def test_block_offset_ignored(self, mapper):
+        assert mapper.decode(0) == mapper.decode(63)
+
+    def test_consecutive_blocks_same_row(self, mapper):
+        """Columns are the lowest field: blocks walk within one row."""
+        d0 = mapper.decode(0)
+        d1 = mapper.decode(64)
+        assert d1.col == d0.col + 1
+        assert (d1.channel, d1.bank, d1.row) == (d0.channel, d0.bank, d0.row)
+
+    def test_consecutive_rows_rotate_channels(self, mapper):
+        """After the column field comes the channel field."""
+        row_bytes = 4096
+        d0 = mapper.decode(0)
+        d1 = mapper.decode(row_bytes)
+        assert d1.channel == d0.channel + 1
+        assert d1.bank == d0.bank
+
+    def test_banks_after_channels(self, mapper):
+        row_bytes, channels = 4096, 4
+        d = mapper.decode(row_bytes * channels)
+        assert d.channel == 0
+        assert d.bank == 1
+
+    def test_row_after_banks(self, mapper):
+        row_bytes, channels, banks = 4096, 4, 16
+        d = mapper.decode(row_bytes * channels * banks)
+        assert (d.channel, d.bank) == (0, 0)
+        assert d.row == 1
+
+    def test_row_of_matches_decode(self, mapper):
+        for addr in (0, 4096, 123456789, 2**30 + 4242):
+            assert mapper.row_of(addr) == mapper.decode(addr).row
+
+    def test_negative_address_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+
+class TestGlobalBank:
+    def test_range(self, mapper):
+        org = DRAMOrganization()
+        seen = set()
+        for addr in range(0, 4096 * 64 * 4, 4096):
+            d = mapper.decode(addr)
+            gb = mapper.global_bank(d)
+            assert 0 <= gb < org.total_banks
+            seen.add(gb)
+        assert len(seen) == org.total_banks  # all banks reachable
+
+    def test_distinct_per_channel_bank(self, mapper):
+        d1 = DecodedAddress(0, 0, 3, 0, 0)
+        d2 = DecodedAddress(1, 0, 3, 0, 0)
+        assert mapper.global_bank(d1) != mapper.global_bank(d2)
+
+
+class TestValidation:
+    def test_non_power_of_two_channels(self):
+        with pytest.raises(ValueError):
+            AddressMapper(DRAMOrganization(channels=3))
+
+    def test_non_power_of_two_banks(self):
+        with pytest.raises(ValueError):
+            AddressMapper(DRAMOrganization(banks_per_rank=10))
+
+
+class TestXORRemap:
+    def test_same_row_same_bank(self, xor_mapper):
+        """Remap must keep blocks of one row together."""
+        d0 = xor_mapper.decode(0)
+        d1 = xor_mapper.decode(64)
+        assert (d1.channel, d1.bank, d1.row) == (d0.channel, d0.bank, d0.row)
+
+    def test_scatters_same_bank_rows(self):
+        """Two rows that collide on a bank without remapping spread out."""
+        plain = AddressMapper(DRAMOrganization())
+        xor = AddressMapper(DRAMOrganization(), xor_remap=True)
+        row_stride = 4096 * 4 * 16  # same channel, same bank, next row
+        banks_plain = {plain.decode(i * row_stride).bank for i in range(16)}
+        banks_xor = {xor.decode(i * row_stride).bank for i in range(16)}
+        assert len(banks_plain) == 1
+        assert len(banks_xor) == 16  # permutation spreads across all banks
+
+    def test_row_channel_unchanged(self, mapper, xor_mapper):
+        for addr in (0, 8192, 12345600, 2**28):
+            p, x = mapper.decode(addr), xor_mapper.decode(addr)
+            assert p.row == x.row
+            assert p.channel == x.channel
+            assert p.col == x.col
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_bijective_within_row_space(self, addr):
+        """encode(decode(x)) recovers the block address (both mappers)."""
+        addr &= ~63
+        for remap in (False, True):
+            m = AddressMapper(DRAMOrganization(), xor_remap=remap)
+            assert m.encode(m.decode(addr)) == addr
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_decode_fields_in_range(addr, remap):
+    org = DRAMOrganization()
+    m = AddressMapper(org, xor_remap=remap)
+    d = m.decode(addr)
+    assert 0 <= d.channel < org.channels
+    assert 0 <= d.rank < org.ranks_per_channel
+    assert 0 <= d.bank < org.banks_per_rank
+    assert 0 <= d.col < org.blocks_per_row
+    assert d.row >= 0
+
+
+@given(st.integers(min_value=0, max_value=2**34))
+@settings(max_examples=100, deadline=None)
+def test_remap_is_permutation_of_banks(addr):
+    """For any address set sharing (channel,row), remap is a bijection."""
+    org = DRAMOrganization()
+    m = AddressMapper(org, xor_remap=True)
+    # Bank field sits at bits 14..17 (6 block + 6 col + 2 channel bits).
+    base = addr & ~(0xF << 14)
+    banks = set()
+    for bank_sel in range(org.banks_per_rank):
+        a = base | (bank_sel << 14)
+        banks.add(m.decode(a).bank)
+    assert len(banks) == org.banks_per_rank

@@ -1,0 +1,120 @@
+"""Channel: bus serialization, turnaround penalties, row-state stats."""
+
+import pytest
+
+from repro.config import DRAMOrganization, DRAMTimings
+from repro.dram.channel import Channel, RowState
+
+T = DRAMTimings.stacked()
+
+
+@pytest.fixture
+def ch():
+    return Channel(T, DRAMOrganization())
+
+
+class TestBusSerialization:
+    def test_bursts_never_overlap(self, ch):
+        ends = []
+        for i in range(10):
+            start, end = ch.issue(0, i % 4, 0, False, 0)
+            assert end - start == T.tBURST
+            if ends:
+                assert start >= ends[-1]
+            ends.append(end)
+
+    def test_completion_after_start(self, ch):
+        start, end = ch.issue(0, 0, 0, False, 0)
+        assert end > start >= 0
+
+
+class TestTurnarounds:
+    def test_no_turnaround_same_direction(self, ch):
+        for _ in range(5):
+            ch.issue(0, 0, 0, False, 0)
+        assert ch.stats.turnarounds == 0
+
+    def test_turnaround_counted_on_switch(self, ch):
+        ch.issue(0, 0, 0, False, 0)
+        ch.issue(0, 0, 0, True, 0)
+        ch.issue(0, 0, 0, False, 0)
+        assert ch.stats.turnarounds == 2
+
+    def test_first_access_no_turnaround(self, ch):
+        ch.issue(0, 0, 0, True, 0)
+        assert ch.stats.turnarounds == 0
+
+    def test_wtr_delay_applied(self, ch):
+        """A read burst must wait tWTR after the last write burst."""
+        _, wend = ch.issue(0, 0, 0, True, 0)
+        rstart, _ = ch.issue(0, 0, 0, False, wend)
+        assert rstart >= wend + T.tWTR
+
+    def test_rtw_delay_applied(self, ch):
+        _, rend = ch.issue(0, 0, 0, False, 0)
+        wstart, _ = ch.issue(0, 0, 0, True, rend)
+        assert wstart >= rend + T.tRTW
+
+    def test_wtr_larger_than_rtw(self):
+        # The asymmetry the paper leans on: W->R is the expensive switch.
+        assert T.tWTR > T.tRTW
+
+
+class TestRowStats:
+    def test_closed_then_hit(self, ch):
+        ch.issue(0, 0, 7, False, 0)
+        ch.issue(0, 0, 7, False, 10_000_000)
+        s = ch.stats
+        assert s.read_row_closed == 1
+        assert s.read_row_hits == 1
+        assert s.read_row_conflicts == 0
+
+    def test_conflict_counted(self, ch):
+        ch.issue(0, 0, 7, False, 0)
+        ch.issue(0, 0, 8, False, 10_000_000)
+        assert ch.stats.read_row_conflicts == 1
+
+    def test_write_stats_separate(self, ch):
+        ch.issue(0, 0, 7, True, 0)
+        ch.issue(0, 0, 7, True, 10_000_000)
+        s = ch.stats
+        assert s.write_row_closed == 1
+        assert s.write_row_hits == 1
+        assert s.read_accesses == 0
+        assert s.write_accesses == 2
+
+    def test_row_state_query(self, ch):
+        assert ch.row_state(0, 3, 9) == RowState.CLOSED
+        ch.issue(0, 3, 9, False, 0)
+        assert ch.row_state(0, 3, 9) == RowState.HIT
+        assert ch.row_state(0, 3, 10) == RowState.CONFLICT
+
+    def test_banks_independent(self, ch):
+        ch.issue(0, 0, 7, False, 0)
+        assert ch.row_state(0, 1, 7) == RowState.CLOSED
+
+
+class TestEstimate:
+    def test_estimate_matches_issue(self, ch):
+        est = ch.estimate_burst_start(0, 2, 5, False, 1000)
+        start, _ = ch.issue(0, 2, 5, False, 1000)
+        assert est == start
+
+    def test_estimate_is_pure(self, ch):
+        ch.estimate_burst_start(0, 2, 5, False, 1000)
+        assert ch.stats.total_accesses == 0
+        assert ch.bus_free == 0
+
+
+class TestStatsReset:
+    def test_reset_zeroes(self, ch):
+        ch.issue(0, 0, 0, False, 0)
+        ch.issue(0, 0, 0, True, 0)
+        ch.reset_stats()
+        assert ch.stats.total_accesses == 0
+        assert ch.stats.turnarounds == 0
+
+    def test_reset_keeps_bank_state(self, ch):
+        ch.issue(0, 0, 7, False, 0)
+        ch.reset_stats()
+        assert ch.row_state(0, 0, 7) == RowState.HIT

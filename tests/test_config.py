@@ -1,0 +1,162 @@
+"""Table II configuration values and unit conversions."""
+
+import pytest
+
+from repro.config import (
+    BLISSConfig,
+    CacheGeometry,
+    DRAMCacheGeometry,
+    DRAMOrganization,
+    DRAMTimings,
+    MainMemoryConfig,
+    QueueConfig,
+    SystemConfig,
+    ns,
+    paper_config,
+    scaled_config,
+)
+
+
+class TestNs:
+    def test_integer_ns(self):
+        assert ns(8) == 8000
+
+    def test_fractional_ns(self):
+        assert ns(3.33) == 3330
+        assert ns(1.67) == 1670
+        assert ns(7.5) == 7500
+
+    def test_rounding(self):
+        assert ns(0.0004) == 0
+        assert ns(0.0006) == 1
+
+
+class TestDRAMTimings:
+    def test_stacked_matches_table2(self):
+        t = DRAMTimings.stacked()
+        assert (t.tRCD, t.tCAS, t.tRP, t.tRAS) == (8000, 8000, 8000, 30000)
+        assert (t.tWTR, t.tRTP, t.tRTW) == (5000, 7500, 1670)
+        assert (t.tWR, t.tBURST) == (15000, 3330)
+
+    def test_ddr3_turnarounds_larger(self):
+        ddr3 = DRAMTimings.ddr3_1600()
+        stacked = DRAMTimings.stacked()
+        assert ddr3.tWTR > stacked.tWTR
+        assert ddr3.tRTW > stacked.tRTW
+
+    def test_penalties(self):
+        t = DRAMTimings.stacked()
+        assert t.row_miss_penalty() == t.tRCD + t.tCAS
+        assert t.row_conflict_penalty() == t.tRP + t.tRCD + t.tCAS
+        assert t.row_conflict_penalty() > t.row_miss_penalty()
+
+    def test_frozen(self):
+        t = DRAMTimings.stacked()
+        with pytest.raises(AttributeError):
+            t.tRCD = 1
+
+
+class TestOrganization:
+    def test_table2_geometry(self):
+        o = DRAMOrganization()
+        assert o.channels == 4
+        assert o.banks_per_rank == 16
+        assert o.ranks_per_channel == 1
+        assert o.row_bytes == 4096
+        assert o.total_banks == 64
+        assert o.blocks_per_row == 64
+
+
+class TestQueueConfig:
+    def test_default_sizes(self):
+        q = QueueConfig()
+        assert q.read_entries == 64
+        assert q.write_entries == 64
+
+    def test_rod_sizes(self):
+        q = QueueConfig.for_design("ROD")
+        assert q.read_entries == 32
+        assert q.write_entries == 96
+
+    def test_rod_case_insensitive(self):
+        assert QueueConfig.for_design("rod").read_entries == 32
+
+    def test_other_designs_default(self):
+        for d in ("CD", "DCA", "cd", "dca"):
+            q = QueueConfig.for_design(d)
+            assert (q.read_entries, q.write_entries) == (64, 64)
+
+    def test_watermarks(self):
+        q = QueueConfig()
+        assert q.write_low_watermark == 0.50
+        assert q.write_high_watermark == 0.85
+        assert q.lr_drain_low == 0.75
+        assert q.lr_drain_high == 0.85
+
+    def test_positive_windows(self):
+        q = QueueConfig()
+        assert q.issue_window >= 1
+        assert q.opportunistic_min_batch >= 1
+
+
+class TestDRAMCacheGeometry:
+    def test_paper_capacity(self):
+        g = DRAMCacheGeometry()
+        assert g.size_bytes == 256 * 2**20
+        assert g.data_capacity == 240 * 2**20
+
+    def test_sets_consistent_with_capacity(self):
+        g = DRAMCacheGeometry()
+        assert g.sa_sets * g.sa_ways * g.block_bytes == g.data_capacity
+        assert g.dm_entries * g.block_bytes == g.data_capacity
+
+    def test_sa_15_way(self):
+        assert DRAMCacheGeometry().sa_ways == 15
+
+
+class TestCacheGeometry:
+    def test_l1_sets(self):
+        g = CacheGeometry(size_bytes=32 * 1024, assoc=2)
+        assert g.num_sets == 256
+
+    def test_l2_sets(self):
+        g = CacheGeometry(size_bytes=8 * 2**20, assoc=16)
+        assert g.num_sets == 8192
+
+
+class TestMainMemoryConfig:
+    def test_latency(self):
+        assert MainMemoryConfig().latency_ps == 50_000
+
+    def test_bus_occupancy(self):
+        # 64 B over a 64-bit 2 GHz bus: 8 transfers at 0.5 ns.
+        assert MainMemoryConfig().bus_occupancy_ps == 4000
+
+
+class TestSystemConfig:
+    def test_paper_config_cores(self):
+        assert paper_config().num_cores == 4
+
+    def test_cpu_cycle(self):
+        assert paper_config().cpu.cycle_ps == 250
+
+    def test_scaled_divides_capacities(self):
+        full, scaled = paper_config(), scaled_config(8)
+        assert scaled.l2.size_bytes == full.l2.size_bytes // 8
+        assert scaled.dram_cache.size_bytes == full.dram_cache.size_bytes // 8
+
+    def test_scaled_preserves_timings_and_queues(self):
+        full, scaled = paper_config(), scaled_config(8)
+        assert scaled.timings == full.timings
+        assert scaled.queues == full.queues
+        assert scaled.org == full.org
+
+    def test_with_queues_for(self):
+        cfg = paper_config().with_queues_for("ROD")
+        assert cfg.queues.read_entries == 32
+        assert cfg.queues.write_entries == 96
+
+    def test_bliss_defaults(self):
+        b = BLISSConfig()
+        assert b.blacklist_threshold == 4
+        assert b.clearing_interval_ps == 10_000_000  # 10 us

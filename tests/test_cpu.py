@@ -1,0 +1,173 @@
+"""Core model in isolation: ROB/MLP blocking, trace consumption, IPC."""
+
+import itertools
+
+import pytest
+
+from repro.config import CPUConfig
+from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
+from repro.sim.engine import Simulator
+
+
+class StubSystem:
+    """Scriptable memory side: returns queued outcomes, records calls."""
+
+    def __init__(self, sim, outcomes):
+        self.sim = sim
+        self.outcomes = outcomes      # iterator of (outcome, stall)
+        self.accesses = []
+        self.registered = []          # (core, token)
+        self.mshr_waiters = []
+
+    def mem_access(self, core, addr, is_write, pc):
+        self.accesses.append((addr, is_write, pc))
+        return next(self.outcomes)
+
+    def register_load(self, core, token):
+        self.registered.append((core, token))
+
+    def wait_for_mshr(self, core):
+        self.mshr_waiters.append(core)
+
+    def core_warmed(self, core):
+        pass
+
+    def core_finished(self, core):
+        pass
+
+
+def make_core(sim, system, trace, cfg=None):
+    cfg = cfg or CPUConfig(max_outstanding_misses=2, rob_entries=64)
+    core = Core(sim, 0, cfg, iter(trace), system)
+    return core
+
+
+def op(gap=10, addr=0x1000, w=False, pc=0):
+    return (gap, addr, w, pc)
+
+
+class TestTraceConsumption:
+    def test_l2_hits_consume_trace(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((L2_HIT, 0)))
+        trace = itertools.repeat(op())
+        core = make_core(sim, system, trace)
+        core.start(warmup_insts=0, measure_insts=100)
+        sim.run(until=1_000_000)
+        assert len(system.accesses) > 5
+        assert core.finish_time is not None
+
+    def test_instruction_accounting(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((L2_HIT, 0)))
+        core = make_core(sim, system, itertools.repeat(op(gap=9)))
+        core.start(0, 95)
+        sim.run(until=1_000_000)
+        # each op retires gap+1 = 10 instructions
+        assert core.icount % 10 == 0
+        assert core.icount >= 95
+
+    def test_gap_sets_pacing(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((L2_HIT, 0)))
+        cfg = CPUConfig()  # 8-wide, 250 ps/cycle
+        core = make_core(sim, system, itertools.repeat(op(gap=80)), cfg)
+        core.start(0, 10_000_000)
+        sim.run(until=100_000)
+        # 80 instructions at 8-wide = 10 cycles = 2500 ps per op
+        assert 100_000 // 2500 - 2 <= len(system.accesses) <= 100_000 // 2500 + 2
+
+
+class TestBlocking:
+    def test_blocks_at_mlp_limit(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((MISS, 0)))
+        core = make_core(sim, system, itertools.repeat(op()))
+        core.start(0, 10_000)
+        sim.run(until=1_000_000)
+        assert core.blocked
+        assert len(core.outstanding) == 2      # max_outstanding_misses
+        assert len(system.accesses) == 2
+
+    def test_load_done_unblocks(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((MISS, 0)))
+        core = make_core(sim, system, itertools.repeat(op()))
+        core.start(0, 10_000)
+        sim.run(until=100_000)
+        token = next(iter(core.outstanding))
+        sim.run(until=200_000)
+        core.load_done(token)
+        sim.run(until=300_000)
+        assert len(system.accesses) == 3       # one more op issued
+
+    def test_stores_do_not_block(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((MISS, 0)))
+        core = make_core(sim, system, itertools.repeat(op(w=True)))
+        core.start(0, 10_000)
+        sim.run(until=300_000)
+        assert not core.blocked
+        assert core.outstanding == {}
+        assert len(system.accesses) > 10
+
+    def test_rob_limit_binds(self):
+        """With huge MLP, the ROB bounds run-ahead past the oldest miss."""
+        sim = Simulator()
+        outcomes = itertools.chain([(MISS, 0)],
+                                   itertools.repeat((L2_HIT, 0)))
+        system = StubSystem(sim, outcomes)
+        cfg = CPUConfig(max_outstanding_misses=1000, rob_entries=64)
+        core = make_core(sim, system, itertools.repeat(op(gap=9)), cfg)
+        core.start(0, 1_000_000)
+        sim.run(until=10_000_000)
+        assert core.blocked
+        # it ran ahead ~ROB instructions past the miss then stalled
+        assert core.icount <= 10 + 64 + 10
+
+    def test_mshr_full_retries_same_op(self):
+        sim = Simulator()
+        outcomes = itertools.chain([(MSHR_FULL, 0), (MISS, 0)],
+                                   itertools.repeat((L2_HIT, 0)))
+        system = StubSystem(sim, outcomes)
+        core = make_core(sim, system, itertools.repeat(op(addr=0x7700)))
+        core.start(0, 10_000)
+        sim.run(until=100_000)
+        assert core.blocked
+        assert system.mshr_waiters == [core]
+        core.mshr_freed()
+        sim.run(until=200_000)
+        # the same address was retried (two identical records)
+        assert system.accesses[0][0] == system.accesses[1][0] == 0x7700
+
+    def test_blocked_time_accounted(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((MISS, 0)))
+        core = make_core(sim, system, itertools.repeat(op()))
+        core.start(0, 10_000)
+        sim.run(until=50_000)
+        token = next(iter(core.outstanding))
+        sim.run(until=150_000)
+        core.load_done(token)
+        assert core.stall_blocked_ps > 0
+
+
+class TestIPC:
+    def test_measured_ipc_requires_finish(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((L2_HIT, 0)))
+        core = make_core(sim, system, itertools.repeat(op()))
+        core.start(0, 10_000_000)
+        sim.run(until=1000)
+        with pytest.raises(RuntimeError):
+            core.measured_ipc()
+
+    def test_ipc_positive_and_bounded(self):
+        sim = Simulator()
+        system = StubSystem(sim, itertools.repeat((L2_HIT, 0)))
+        cfg = CPUConfig()
+        core = make_core(sim, system, itertools.repeat(op(gap=15)), cfg)
+        core.start(warmup_insts=100, measure_insts=2_000)
+        sim.run(until=100_000_000)
+        ipc = core.measured_ipc()
+        assert 0 < ipc <= cfg.width

@@ -1,0 +1,53 @@
+"""ChannelStats arithmetic and derived metrics."""
+
+from repro.dram.stats import ChannelStats
+
+
+class TestDerivedMetrics:
+    def test_accesses_per_turnaround(self):
+        s = ChannelStats(read_accesses=30, write_accesses=10, turnarounds=4)
+        assert s.accesses_per_turnaround == 10.0
+
+    def test_accesses_per_turnaround_no_turnarounds(self):
+        s = ChannelStats(read_accesses=7)
+        assert s.accesses_per_turnaround == 7.0
+
+    def test_row_hit_rate(self):
+        s = ChannelStats(read_row_hits=6, read_row_closed=2,
+                         read_row_conflicts=2)
+        assert s.read_row_hit_rate == 0.6
+
+    def test_row_hit_rate_empty(self):
+        assert ChannelStats().read_row_hit_rate == 0.0
+
+    def test_total(self):
+        s = ChannelStats(read_accesses=3, write_accesses=4)
+        assert s.total_accesses == 7
+
+
+class TestMergeSum:
+    def test_merge_adds_fields(self):
+        a = ChannelStats(read_accesses=1, turnarounds=2)
+        b = ChannelStats(read_accesses=3, write_accesses=5)
+        m = a.merge(b)
+        assert m.read_accesses == 4
+        assert m.write_accesses == 5
+        assert m.turnarounds == 2
+
+    def test_merge_does_not_mutate(self):
+        a = ChannelStats(read_accesses=1)
+        a.merge(ChannelStats(read_accesses=9))
+        assert a.read_accesses == 1
+
+    def test_sum_many(self):
+        parts = [ChannelStats(read_accesses=i) for i in range(5)]
+        assert ChannelStats.sum(parts).read_accesses == 10
+
+    def test_sum_empty(self):
+        assert ChannelStats.sum([]).total_accesses == 0
+
+    def test_reset(self):
+        s = ChannelStats(read_accesses=5, bus_busy_ps=100)
+        s.reset()
+        assert s.read_accesses == 0
+        assert s.bus_busy_ps == 0

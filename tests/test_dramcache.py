@@ -1,0 +1,199 @@
+"""Functional DRAM-cache array: hits, fills, LRU, dirty state, bulk fill."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.dramcache import DRAMCacheArray
+from repro.config import DRAMCacheGeometry
+
+GEOM = DRAMCacheGeometry(size_bytes=2 * 2**20)  # small: fast eviction tests
+
+
+@pytest.fixture(params=["sa", "dm"])
+def array(request):
+    return DRAMCacheArray(GEOM, request.param)
+
+
+@pytest.fixture
+def sa():
+    return DRAMCacheArray(GEOM, "sa")
+
+
+@pytest.fixture
+def dm():
+    return DRAMCacheArray(GEOM, "dm")
+
+
+class TestBasics:
+    def test_cold_miss(self, array):
+        assert not array.probe(0x1000).hit
+
+    def test_fill_then_hit(self, array):
+        array.fill(0x1000, dirty=False)
+        res = array.probe(0x1000)
+        assert res.hit and not res.dirty
+
+    def test_dirty_fill(self, array):
+        array.fill(0x1000, dirty=True)
+        assert array.probe(0x1000).dirty
+
+    def test_lookup_read_counts(self, array):
+        array.fill(0x1000, dirty=False)
+        array.lookup_read(0x1000)
+        array.lookup_read(0x2000000)
+        assert array.lookups == 2
+        assert array.hits == 1
+        assert array.hit_rate == 0.5
+
+    def test_lookup_write_sets_dirty(self, array):
+        array.fill(0x1000, dirty=False)
+        array.lookup_write(0x1000)
+        assert array.probe(0x1000).dirty
+
+    def test_invalid_organization(self):
+        with pytest.raises(ValueError):
+            DRAMCacheArray(GEOM, "fully-assoc")
+
+    def test_invalidate(self, array):
+        array.fill(0x1000, dirty=True)
+        assert array.invalidate(0x1000)
+        assert not array.probe(0x1000).hit
+        assert not array.invalidate(0x1000)
+
+    def test_block_granularity(self, array):
+        array.fill(0x1000, dirty=False)
+        assert array.probe(0x1000 + 63).hit  # same block
+        assert not array.probe(0x1000 + 64).hit
+
+    def test_reset_counters(self, array):
+        array.fill(0x1000, False)
+        array.lookup_read(0x1000)
+        array.reset_counters()
+        assert array.lookups == array.hits == array.fills == 0
+
+
+class TestEvictionSA:
+    def _addr_in_set(self, sa, set_idx, tag):
+        return sa.sa.block_addr(set_idx, tag) * 64
+
+    def test_victim_returned_when_full(self, sa):
+        addrs = [self._addr_in_set(sa, 0, t) for t in range(16)]
+        for a in addrs[:15]:
+            assert sa.fill(a, dirty=False).victim_block_addr is None
+        res = sa.fill(addrs[15], dirty=False)
+        assert res.victim_block_addr is not None
+
+    def test_lru_victim_choice(self, sa):
+        addrs = [self._addr_in_set(sa, 0, t) for t in range(16)]
+        for a in addrs[:15]:
+            sa.fill(a, dirty=False)
+        sa.lookup_read(addrs[0])  # refresh the oldest
+        res = sa.fill(addrs[15], dirty=False)
+        assert res.victim_block_addr == addrs[1]  # now the LRU
+
+    def test_dirty_victim_flagged(self, sa):
+        addrs = [self._addr_in_set(sa, 0, t) for t in range(16)]
+        sa.fill(addrs[0], dirty=True)
+        for a in addrs[1:15]:
+            sa.fill(a, dirty=False)
+        res = sa.fill(addrs[15], dirty=False)
+        assert res.victim_block_addr == addrs[0]
+        assert res.victim_dirty
+        assert sa.dirty_evictions == 1
+
+    def test_refill_of_present_block_refreshes(self, sa):
+        a = self._addr_in_set(sa, 0, 1)
+        sa.fill(a, dirty=True)
+        res = sa.fill(a, dirty=False)
+        assert res.victim_block_addr is None
+        assert sa.probe(a).dirty  # dirty not lost
+
+
+class TestEvictionDM:
+    def test_conflict_evicts(self, dm):
+        a0 = 0x0
+        a1 = dm.dm.num_entries * 64  # same entry, different tag
+        dm.fill(a0, dirty=True)
+        res = dm.fill(a1, dirty=False)
+        assert res.victim_block_addr == a0
+        assert res.victim_dirty
+        assert not dm.probe(a0).hit
+        assert dm.probe(a1).hit
+
+
+class TestLocations:
+    def test_sa_tag_data_same_row(self, sa):
+        addr = 0x123440
+        res_row = sa.tag_location(addr) // GEOM.row_bytes
+        sa.fill(addr, dirty=False)
+        way = sa.probe(addr).way
+        assert sa.data_location(addr, way) // GEOM.row_bytes == res_row
+
+    def test_dm_tad_single_location(self, dm):
+        addr = 0x123440
+        assert dm.tag_location(addr) == dm.data_location(addr, 0)
+
+
+class TestBulkFill:
+    def test_bulk_equivalent_to_sequential(self):
+        """bulk_fill must leave the same resident set as fill-by-fill."""
+        for orgn in ("sa", "dm"):
+            a = DRAMCacheArray(GEOM, orgn)
+            b = DRAMCacheArray(GEOM, orgn)
+            n = 5000
+            a.bulk_fill(0, n, dirty_fraction=0.0)
+            for i in range(n):
+                b.fill(i * 64, dirty=False)
+            hits_a = sum(a.probe(i * 64).hit for i in range(n))
+            hits_b = sum(b.probe(i * 64).hit for i in range(n))
+            assert hits_a == hits_b
+
+    def test_bulk_dirty_fraction(self):
+        a = DRAMCacheArray(GEOM, "sa")
+        n = 4000
+        a.bulk_fill(0, n, dirty_fraction=0.5, seed=3)
+        dirty = sum(a.probe(i * 64).dirty for i in range(n)
+                    if a.probe(i * 64).hit)
+        resident = sum(a.probe(i * 64).hit for i in range(n))
+        assert 0.35 * resident < dirty < 0.65 * resident
+
+    def test_bulk_fill_deterministic(self):
+        a = DRAMCacheArray(GEOM, "sa")
+        b = DRAMCacheArray(GEOM, "sa")
+        a.bulk_fill(0, 3000, dirty_fraction=0.3, seed=7)
+        b.bulk_fill(0, 3000, dirty_fraction=0.3, seed=7)
+        for i in range(3000):
+            assert a.probe(i * 64) == b.probe(i * 64)
+
+    def test_two_ranges_share_capacity(self):
+        """Second core's prefill must not wipe the first's (LRU merge)."""
+        a = DRAMCacheArray(GEOM, "sa")
+        n = 2000  # two small ranges, well within capacity
+        a.bulk_fill(0, n, dirty_fraction=0.0)
+        a.bulk_fill(1 << 44, n, dirty_fraction=0.0)
+        hits0 = sum(a.probe(i * 64).hit for i in range(n))
+        hits1 = sum(a.probe((1 << 44) + i * 64).hit for i in range(n))
+        assert hits1 == n
+        assert hits0 == n  # first range survives
+
+    def test_zero_blocks_noop(self, array):
+        array.bulk_fill(0, 0)
+        assert array.fills == 0
+
+
+@given(st.lists(st.integers(0, 300), min_size=1, max_size=200),
+       st.sampled_from(["sa", "dm"]))
+@settings(max_examples=50, deadline=None)
+def test_probe_consistency(blocks, orgn):
+    """After any fill sequence, probe agrees with a reference dict model
+    restricted to single-set occupancy accounting."""
+    a = DRAMCacheArray(GEOM, orgn)
+    filled = set()
+    for blk in blocks:
+        addr = blk * 64
+        res = a.fill(addr, dirty=False)
+        filled.add(addr)
+        if res.victim_block_addr is not None:
+            filled.discard(res.victim_block_addr)
+    for addr in filled:
+        assert a.probe(addr).hit

@@ -1,0 +1,138 @@
+"""Discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(300, log.append, "c")
+        sim.at(100, log.append, "a")
+        sim.at(200, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "abcde":
+            sim.at(500, log.append, tag)
+        sim.run()
+        assert log == list("abcde")
+
+    def test_after_relative(self):
+        sim = Simulator()
+        sim.at(100, lambda _: sim.after(50, lambda _: None))
+        sim.run()
+        assert sim.now == 150
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(100, lambda _: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(50, lambda _: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().after(-1, lambda _: None)
+
+    def test_arg_passed(self):
+        sim = Simulator()
+        got = []
+        sim.at(10, got.append, 42)
+        sim.run()
+        assert got == [42]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        ev = sim.at(100, log.append, "dead")
+        sim.at(200, log.append, "alive")
+        ev.cancel()
+        sim.run()
+        assert log == ["alive"]
+
+    def test_pending_counts_live_only(self):
+        sim = Simulator()
+        ev = sim.at(100, lambda _: None)
+        sim.at(200, lambda _: None)
+        ev.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunControl:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        log = []
+        sim.at(100, log.append, 1)
+        sim.at(900, log.append, 2)
+        sim.run(until=500)
+        assert log == [1]
+        assert sim.now == 500
+
+    def test_until_resumable(self):
+        sim = Simulator()
+        log = []
+        sim.at(900, log.append, 2)
+        sim.run(until=500)
+        sim.run()
+        assert log == [2]
+        assert sim.now == 900
+
+    def test_until_with_empty_heap_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=777)
+        assert sim.now == 777
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for t in (1, 2, 3, 4):
+            sim.at(t, log.append, t)
+        sim.run(max_events=2)
+        assert log == [1, 2]
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.at(t, lambda _: None)
+        sim.run()
+        assert sim.events_run == 3
+
+    def test_drain_stop_condition(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick(_):
+            count[0] += 1
+            if count[0] < 100:
+                sim.after(10, tick)
+
+        sim.at(0, tick)
+        sim.drain(lambda: count[0] >= 5, check_every=1)
+        assert count[0] == 5
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+
+            def spawn(depth):
+                log.append((sim.now, depth))
+                if depth < 5:
+                    sim.after(7, spawn, depth + 1)
+                    sim.after(3, spawn, depth + 1)
+
+            sim.at(0, spawn, 0)
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

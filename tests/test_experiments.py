@@ -1,0 +1,158 @@
+"""Experiment harness: specs, caching, speedup tables, CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import (
+    RunSpec,
+    SimParams,
+    alone_ipc_table,
+    alone_specs,
+    format_table,
+    grid_specs,
+    mix_weighted_speedup,
+    run_grid,
+    run_one,
+)
+from repro.experiments import table1_workloads, table2_params
+from repro.experiments.runner import MODULES, build_parser
+from repro.sim.system import SystemResult
+
+QUICK = SimParams(warmup_insts=2_000, measure_insts=5_000,
+                  replay_accesses=1_000)
+
+
+class TestRunSpec:
+    def test_benchmarks_from_mix(self):
+        assert len(RunSpec("CD", mix_id=3).benchmarks()) == 4
+
+    def test_benchmarks_alone(self):
+        profs = RunSpec("CD", alone_benchmark="mcf").benchmarks()
+        assert [p.name for p in profs] == ["mcf"]
+
+    def test_needs_target(self):
+        with pytest.raises(ValueError):
+            RunSpec("CD").benchmarks()
+
+    def test_label(self):
+        assert RunSpec("DCA", xor_remap=True).label() == "XOR+DCA"
+        assert RunSpec("CD", lee_writeback=True).label() == "LEE+CD"
+
+    def test_grid_specs_cross_product(self):
+        specs = grid_specs([1, 2], ("sa", "dm"), remaps=(False, True))
+        assert len(specs) == 2 * 2 * 2 * 3
+        assert len(set(specs)) == len(specs)   # hashable + unique
+
+    def test_alone_specs_cover_all_benchmarks(self):
+        specs = alone_specs("sa")
+        assert len(specs) == 11
+        assert all(s.design == "CD" for s in specs)
+
+
+class TestRunOne:
+    def test_produces_result(self):
+        res = run_one(RunSpec("DCA", mix_id=1), QUICK)
+        assert isinstance(res, SystemResult)
+        assert len(res.ipcs) == 4
+        assert res.design == "DCA"
+
+    def test_deterministic(self):
+        r1 = run_one(RunSpec("CD", mix_id=2), QUICK)
+        r2 = run_one(RunSpec("CD", mix_id=2), QUICK)
+        assert r1.ipcs == r2.ipcs
+
+
+class TestCaching:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec = RunSpec("CD", alone_benchmark="gcc")
+        first = run_grid([spec], QUICK, jobs=1)
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        second = run_grid([spec], QUICK, jobs=1)
+        assert second[spec].ipcs == first[spec].ipcs
+
+    def test_corrupt_cache_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec = RunSpec("CD", alone_benchmark="gcc")
+        key = common._spec_key(spec, QUICK)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        out = run_grid([spec], QUICK, jobs=1)
+        assert out[spec].ipcs[0] > 0
+
+    def test_key_distinguishes_specs(self):
+        k1 = common._spec_key(RunSpec("CD", mix_id=1), QUICK)
+        k2 = common._spec_key(RunSpec("DCA", mix_id=1), QUICK)
+        k3 = common._spec_key(RunSpec("CD", mix_id=1), SimParams())
+        assert len({k1, k2, k3}) == 3
+
+
+class TestSpeedupPlumbing:
+    def test_alone_table_and_ws(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        specs = [RunSpec("CD", alone_benchmark=b, seed=9)
+                 for b in ("gcc", "astar")]
+        results = run_grid(specs, QUICK, jobs=1)
+        table = alone_ipc_table(results)
+        assert set(table) == {"gcc", "astar"}
+        fake = SystemResult(
+            design="CD", organization="sa", xor_remap=False,
+            benchmarks=["gcc", "astar"], ipcs=[table["gcc"], table["astar"]],
+            elapsed_ps=1, mean_read_latency_ps=1, dram_read_hit_rate=0,
+            reads_done=1, writebacks=0, refills=0,
+            read_priority_inversions=0, lr_ofs_issues=0, lr_drain_issues=0,
+            accesses_per_turnaround=1, read_row_hit_rate=0, turnarounds=0,
+            dram_accesses=0, l2_hit_rate=0, mainmem_reads=0, mainmem_writes=0)
+        # each core exactly at its alone IPC -> WS == number of cores
+        assert mix_weighted_speedup(fake, table) == pytest.approx(2.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        out = format_table(["x"], [[1]])
+        assert out.splitlines()[0].startswith("x")
+
+
+class TestStaticExperiments:
+    def test_table1_all_checks_pass(self):
+        _r, _d, checks = table1_workloads.run(QUICK, [1])
+        assert all(ok for _desc, ok in checks)
+
+    def test_table2_all_checks_pass(self):
+        report, _d, checks = table2_params.run(QUICK, [1])
+        assert all(ok for _desc, ok in checks)
+        assert "tRCD" in report
+
+
+class TestRunnerCLI:
+    def test_all_ids_registered(self):
+        expected = {"table1", "table2"} | {f"fig{n:02d}" for n in range(8, 20)}
+        assert set(MODULES) == expected
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig08"])
+        assert args.mixes == 30
+        assert not args.quick
+
+    def test_parser_multi_ids(self):
+        args = build_parser().parse_args(["fig08", "fig09", "--quick"])
+        assert args.ids == ["fig08", "fig09"]
+        assert args.quick
+
+    def test_results_json_shape(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        from repro.experiments.runner import run_experiment
+        ok = run_experiment("table1", QUICK, [1], jobs=1, out_dir=tmp_path)
+        assert ok
+        data = json.loads((tmp_path / "table1.json").read_text())
+        assert data["id"] == "table1"
+        assert all(data["checks"].values())

@@ -1,0 +1,69 @@
+"""MAP-I miss predictor: learning, prediction, accounting."""
+
+import pytest
+
+from repro.cache.mapi import MAPIPredictor
+
+
+class TestPrediction:
+    def test_cold_predicts_miss(self):
+        p = MAPIPredictor(1)
+        assert p.predict_miss(0, 0x400100)
+
+    def test_learns_hits(self):
+        p = MAPIPredictor(1)
+        pc = 0x400100
+        for _ in range(4):
+            p.update(0, pc, was_hit=True, predicted_miss=True)
+        assert not p.predict_miss(0, pc)
+
+    def test_learns_misses_back(self):
+        p = MAPIPredictor(1)
+        pc = 0x400100
+        for _ in range(8):
+            p.update(0, pc, was_hit=True, predicted_miss=False)
+        for _ in range(8):
+            p.update(0, pc, was_hit=False, predicted_miss=False)
+        assert p.predict_miss(0, pc)
+
+    def test_counters_saturate(self):
+        p = MAPIPredictor(1)
+        pc = 0x400100
+        for _ in range(100):
+            p.update(0, pc, was_hit=True, predicted_miss=False)
+        t = p.tables[0][p._index(pc)]
+        assert t == p.counter_max
+
+    def test_per_core_tables(self):
+        p = MAPIPredictor(2)
+        pc = 0x400100
+        for _ in range(4):
+            p.update(0, pc, was_hit=True, predicted_miss=False)
+        assert not p.predict_miss(0, pc)
+        assert p.predict_miss(1, pc)   # core 1 still cold
+
+    def test_different_pcs_independent(self):
+        p = MAPIPredictor(1)
+        for _ in range(4):
+            p.update(0, 0x100, was_hit=True, predicted_miss=False)
+        assert not p.predict_miss(0, 0x100)
+        # A PC hashing to a different entry stays cold.
+        other = next(pc for pc in range(0x200, 0x10000, 64)
+                     if p._index(pc) != p._index(0x100))
+        assert p.predict_miss(0, other)
+
+
+class TestStats:
+    def test_accuracy_tracking(self):
+        p = MAPIPredictor(1)
+        p.predict_miss(0, 0)
+        p.update(0, 0, was_hit=False, predicted_miss=True)   # correct
+        p.update(0, 0, was_hit=True, predicted_miss=True)    # wasted fetch
+        p.update(0, 0, was_hit=False, predicted_miss=False)  # missed opp
+        assert p.stats.correct == 1
+        assert p.stats.wasted_fetches == 1
+        assert p.stats.missed_opportunities == 1
+
+    def test_table_size_validation(self):
+        with pytest.raises(ValueError):
+            MAPIPredictor(1, table_entries=100)

@@ -1,0 +1,241 @@
+"""Memory-side components: main memory, SRAM caches, MSHRs, Lee writeback."""
+
+import pytest
+
+from repro.config import CacheGeometry, MainMemoryConfig
+from repro.mem.llc_writeback import DRAMAwareWritebackIndex
+from repro.mem.mainmem import MainMemory
+from repro.mem.mshr import MSHRFile
+from repro.mem.sram import SRAMCache
+from repro.sim.engine import Simulator
+
+
+class TestMainMemory:
+    def test_fetch_latency(self):
+        sim = Simulator()
+        mm = MainMemory(sim, MainMemoryConfig())
+        done = []
+        mm.fetch(0x1000, done.append)
+        sim.run()
+        assert done == [0x1000]
+        assert sim.now == 50_000
+
+    def test_bus_serializes(self):
+        sim = Simulator()
+        mm = MainMemory(sim, MainMemoryConfig())
+        t1 = mm.fetch(0x0, lambda a: None)
+        t2 = mm.fetch(0x40, lambda a: None)
+        assert t2 - t1 == MainMemoryConfig().bus_occupancy_ps
+
+    def test_writes_consume_bus(self):
+        sim = Simulator()
+        mm = MainMemory(sim, MainMemoryConfig())
+        mm.write(0x0)
+        t = mm.fetch(0x40, lambda a: None)
+        assert t == MainMemoryConfig().bus_occupancy_ps + 50_000
+
+    def test_stats(self):
+        sim = Simulator()
+        mm = MainMemory(sim, MainMemoryConfig())
+        mm.fetch(0, lambda a: None)
+        mm.write(64)
+        assert mm.stats.reads == 1
+        assert mm.stats.writes == 1
+        mm.reset_stats()
+        assert mm.stats.reads == 0
+
+
+GEOM = CacheGeometry(size_bytes=8 * 1024, assoc=2)  # 64 sets, tiny
+
+
+class TestSRAMCache:
+    def test_miss_then_hit(self):
+        c = SRAMCache(GEOM)
+        hit, victim = c.access(0x1000, False)
+        assert not hit and victim is None
+        hit, _ = c.access(0x1000, False)
+        assert hit
+
+    def test_touch_does_not_allocate(self):
+        c = SRAMCache(GEOM)
+        assert not c.touch(0x1000, False)
+        assert not c.probe(0x1000)
+
+    def test_touch_hit_updates_dirty(self):
+        c = SRAMCache(GEOM)
+        c.fill(0x1000)
+        assert c.touch(0x1000, True)
+        assert c.dirty_count() == 1
+
+    def test_lru_eviction(self):
+        c = SRAMCache(GEOM)
+        s = GEOM.num_sets * 64
+        a0, a1, a2 = 0x0, s, 2 * s  # same set, 2-way
+        c.access(a0, False)
+        c.access(a1, False)
+        c.access(a0, False)          # refresh a0
+        _, victim = c.access(a2, False)
+        assert not c.probe(a1)       # a1 was LRU
+        assert c.probe(a0)
+
+    def test_dirty_victim_returned(self):
+        c = SRAMCache(GEOM)
+        s = GEOM.num_sets * 64
+        c.access(0x0, True)
+        c.access(s, False)
+        _, victim = c.access(2 * s, False)
+        assert victim == 0x0
+        assert c.stats.dirty_evictions == 1
+
+    def test_clean_victim_not_returned(self):
+        c = SRAMCache(GEOM)
+        s = GEOM.num_sets * 64
+        c.access(0x0, False)
+        c.access(s, False)
+        _, victim = c.access(2 * s, False)
+        assert victim is None
+
+    def test_clean_method(self):
+        c = SRAMCache(GEOM)
+        c.access(0x1000, True)
+        assert c.clean(0x1000)
+        assert not c.clean(0x1000)   # already clean
+        assert c.dirty_count() == 0
+
+    def test_invalidate(self):
+        c = SRAMCache(GEOM)
+        c.access(0x1000, True)
+        assert c.invalidate(0x1000)
+        assert not c.probe(0x1000)
+
+    def test_hit_rate(self):
+        c = SRAMCache(GEOM)
+        c.access(0x1000, False)
+        c.access(0x1000, False)
+        assert c.stats.hit_rate == 0.5
+
+
+class TestDirtyRowIndex:
+    @staticmethod
+    def row_of(addr):
+        return addr // 4096
+
+    def test_tracking(self):
+        c = SRAMCache(GEOM, row_of=TestDirtyRowIndex.row_of)
+        c.access(0x0, True)
+        c.access(0x40, True)
+        c.access(0x1000, True)
+        assert c.dirty_in_row(0) == [0x0, 0x40]
+        assert c.dirty_in_row(1) == [0x1000]
+
+    def test_untrack_on_clean(self):
+        c = SRAMCache(GEOM, row_of=TestDirtyRowIndex.row_of)
+        c.access(0x0, True)
+        c.clean(0x0)
+        assert c.dirty_in_row(0) == []
+
+    def test_untrack_on_eviction(self):
+        c = SRAMCache(GEOM, row_of=TestDirtyRowIndex.row_of)
+        s = GEOM.num_sets * 64
+        c.access(0x0, True)
+        c.access(s, False)
+        c.access(2 * s, False)  # evicts dirty 0x0
+        assert c.dirty_in_row(0) == []
+
+
+class TestMSHR:
+    def test_fresh_allocation(self):
+        m = MSHRFile(4)
+        entry, fresh = m.allocate(0x1000, 0)
+        assert fresh and entry.block_addr == 0x1000
+
+    def test_coalescing(self):
+        m = MSHRFile(4)
+        e1, fresh1 = m.allocate(0x1000, 0)
+        e2, fresh2 = m.allocate(0x1000, 5)
+        assert fresh1 and not fresh2
+        assert e1 is e2
+        assert m.coalesced == 1
+
+    def test_write_coalesce_marks_dirty(self):
+        m = MSHRFile(4)
+        m.allocate(0x1000, 0, is_write=False)
+        entry, _ = m.allocate(0x1000, 1, is_write=True)
+        assert entry.any_write
+
+    def test_capacity_stall(self):
+        m = MSHRFile(2)
+        m.allocate(0x0, 0)
+        m.allocate(0x40, 0)
+        entry, fresh = m.allocate(0x80, 0)
+        assert entry is None and not fresh
+        assert m.full_stalls == 1
+
+    def test_complete_frees(self):
+        m = MSHRFile(1)
+        m.allocate(0x0, 0)
+        m.complete(0x0)
+        entry, fresh = m.allocate(0x40, 0)
+        assert fresh
+
+    def test_complete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MSHRFile(1).complete(0x123)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestLeeWriteback:
+    @staticmethod
+    def row_of(addr):
+        return addr // 4096
+
+    def _cache(self):
+        return SRAMCache(CacheGeometry(size_bytes=64 * 1024, assoc=4),
+                         row_of=self.row_of)
+
+    def test_requires_tracking_cache(self):
+        plain = SRAMCache(GEOM)
+        with pytest.raises(ValueError):
+            DRAMAwareWritebackIndex(plain, self.row_of)
+
+    def test_batches_same_row(self):
+        c = self._cache()
+        idx = DRAMAwareWritebackIndex(c, self.row_of, batch_limit=4)
+        for off in range(0, 5 * 64, 64):
+            c.access(off, True)          # 5 dirty blocks in row 0
+        batch = idx.on_dirty_eviction(0x0)
+        assert len(batch) == 4           # limit honored; victim excluded
+        assert 0x0 not in batch
+        assert all(self.row_of(a) == 0 for a in batch)
+
+    def test_batch_cleans_lines(self):
+        c = self._cache()
+        idx = DRAMAwareWritebackIndex(c, self.row_of, batch_limit=8)
+        c.access(0x0, True)
+        c.access(0x40, True)
+        batch = idx.on_dirty_eviction(0x0)
+        assert batch == [0x40]
+        assert c.dirty_count() == 1      # only the victim line remains dirty
+        assert idx.on_dirty_eviction(0x0) == []  # nothing left to batch
+
+    def test_other_rows_untouched(self):
+        c = self._cache()
+        idx = DRAMAwareWritebackIndex(c, self.row_of)
+        c.access(0x0, True)
+        c.access(0x1000, True)           # row 1
+        batch = idx.on_dirty_eviction(0x0)
+        assert batch == []
+        assert c.dirty_count() == 2
+
+    def test_stats(self):
+        c = self._cache()
+        idx = DRAMAwareWritebackIndex(c, self.row_of)
+        c.access(0x0, True)
+        c.access(0x40, True)
+        idx.on_dirty_eviction(0x0)
+        assert idx.stats.triggers == 1
+        assert idx.stats.eager_writebacks == 1
+        assert idx.stats.batch_factor == 1.0

@@ -1,0 +1,88 @@
+"""Weighted speedup, geometric means, normalization."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.speedup import (
+    geomean,
+    normalized_weighted_speedups,
+    weighted_speedup,
+)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_min_max(self, vals):
+        g = geomean(vals)
+        assert min(vals) - 1e-9 <= g <= max(vals) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=10),
+           st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariance(self, vals, k):
+        assert geomean([v * k for v in vals]) == pytest.approx(
+            geomean(vals) * k, rel=1e-9)
+
+
+class TestWeightedSpeedup:
+    def test_equal_ipcs(self):
+        assert weighted_speedup([1, 1], [1, 1]) == pytest.approx(2.0)
+
+    def test_slowdown_sums_fractions(self):
+        assert weighted_speedup([0.5, 0.25], [1.0, 1.0]) == pytest.approx(0.75)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+    def test_zero_alone_ipc(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1], [0])
+
+
+class TestNormalized:
+    def test_baseline_is_one(self):
+        table = normalized_weighted_speedups(
+            {"CD": [1.0, 2.0], "DCA": [1.2, 2.4]}, baseline="CD")
+        assert table["CD"] == pytest.approx(1.0)
+        assert table["DCA"] == pytest.approx(1.2)
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalized_weighted_speedups({"DCA": [1.0]}, baseline="CD")
+
+    def test_mismatched_mix_counts(self):
+        with pytest.raises(ValueError):
+            normalized_weighted_speedups(
+                {"CD": [1.0], "DCA": [1.0, 2.0]}, baseline="CD")
+
+    def test_geomean_of_per_mix_ratios(self):
+        # ratios 2.0 and 0.5 -> geomean exactly 1.0
+        table = normalized_weighted_speedups(
+            {"CD": [1.0, 1.0], "X": [2.0, 0.5]}, baseline="CD")
+        assert table["X"] == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Geometry of the two tags-in-DRAM layouts (Loh-Hill / Alloy)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.organizations import (
+    DirectMappedGeometry,
+    SetAssociativeGeometry,
+)
+from repro.config import DRAMCacheGeometry
+
+GEOM = DRAMCacheGeometry(size_bytes=16 * 2**20)
+SA = SetAssociativeGeometry(GEOM)
+DM = DirectMappedGeometry(GEOM)
+
+
+class TestSetAssociative:
+    def test_sets_per_row(self):
+        # 4 KB row / (16 blocks per set unit) = 4 sets per row
+        assert SA.sets_per_row == 4
+
+    def test_capacity(self):
+        assert SA.num_sets * SA.ways * 64 == GEOM.data_capacity
+
+    def test_tag_data_same_row(self):
+        """Loh-Hill: a set's tag block and data ways share a DRAM row."""
+        for s in (0, 1, 3, 4, 1000):
+            tag_row = SA.tag_array_addr(s) // GEOM.row_bytes
+            for w in (0, 7, 14):
+                assert SA.data_array_addr(s, w) // GEOM.row_bytes == tag_row
+
+    def test_tag_block_precedes_data(self):
+        assert SA.data_array_addr(0, 0) == SA.tag_array_addr(0) + 64
+
+    def test_distinct_locations_within_row(self):
+        addrs = {SA.tag_array_addr(0)}
+        addrs.update(SA.data_array_addr(0, w) for w in range(15))
+        addrs.add(SA.tag_array_addr(1))
+        addrs.update(SA.data_array_addr(1, w) for w in range(15))
+        assert len(addrs) == 32  # 2 full set units, no overlap
+
+    def test_way_out_of_range(self):
+        with pytest.raises(ValueError):
+            SA.data_array_addr(0, 15)
+        with pytest.raises(ValueError):
+            SA.data_array_addr(0, -1)
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_block_addr_roundtrip(self, block):
+        s, t = SA.set_index(block), SA.tag_value(block)
+        assert SA.block_addr(s, t) == block
+
+    def test_consecutive_blocks_consecutive_sets(self):
+        assert SA.set_index(1) == SA.set_index(0) + 1
+
+
+class TestDirectMapped:
+    def test_entries_per_row(self):
+        # 15/16 of 64 blocks hold TADs
+        assert DM.entries_per_row == 60
+
+    def test_capacity(self):
+        assert DM.num_entries * 64 == GEOM.data_capacity
+
+    def test_tad_within_row(self):
+        for e in (0, 59, 60, 61, 12345):
+            addr = DM.tad_array_addr(e)
+            row_off = addr % GEOM.row_bytes
+            assert row_off < 60 * 64  # inside the TAD area
+
+    def test_row_advances_every_60(self):
+        r0 = DM.tad_array_addr(0) // GEOM.row_bytes
+        r59 = DM.tad_array_addr(59) // GEOM.row_bytes
+        r60 = DM.tad_array_addr(60) // GEOM.row_bytes
+        assert r0 == r59
+        assert r60 == r0 + 1
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_block_addr_roundtrip(self, block):
+        e, t = DM.entry_index(block), DM.tag_value(block)
+        assert DM.block_addr(e, t) == block
+
+
+class TestParity:
+    def test_same_data_capacity(self):
+        """Both organizations cache the same number of bytes (paper)."""
+        assert SA.num_sets * SA.ways == DM.num_entries

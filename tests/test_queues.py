@@ -1,0 +1,103 @@
+"""Access queues: capacity, occupancy accounting, filtered views."""
+
+import pytest
+
+from repro.core.access import Access, AccessRole, CacheRequest, Priority, RequestType
+from repro.core.queues import AccessQueue
+
+
+def mk(role=AccessRole.TAG_READ, rtype=RequestType.READ):
+    req = CacheRequest(rtype, 0, 0)
+    return Access(role, req, 0, 0, 0, 0, 0, 0, 0)
+
+
+class TestCapacity:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            AccessQueue(0)
+
+    def test_has_room(self):
+        q = AccessQueue(2)
+        assert q.has_room()
+        q.push(mk())
+        q.push(mk())
+        assert not q.has_room()
+
+    def test_continuations_may_exceed(self):
+        q = AccessQueue(1)
+        q.push(mk())
+        q.push(mk())  # reserved-slot semantics: push always succeeds
+        assert len(q) == 2
+        assert q.occupancy == 2.0
+
+    def test_occupancy_fraction(self):
+        q = AccessQueue(4)
+        q.push(mk())
+        assert q.occupancy == 0.25
+
+
+class TestViews:
+    def test_priority_reads(self):
+        q = AccessQueue(8)
+        pr = mk(rtype=RequestType.READ)
+        lr = mk(rtype=RequestType.WRITEBACK)
+        q.push(pr)
+        q.push(lr)
+        assert q.priority_reads() == [pr]
+        assert q.low_priority_reads() == [lr]
+
+    def test_refill_reads_are_lr(self):
+        q = AccessQueue(8)
+        a = mk(rtype=RequestType.REFILL)
+        assert a.priority == Priority.LR
+
+    def test_filtered(self):
+        q = AccessQueue(8)
+        a = mk(role=AccessRole.TAG_READ)
+        b = mk(role=AccessRole.DATA_WRITE)
+        q.push(a)
+        q.push(b)
+        assert q.filtered(lambda x: x.is_write) == [b]
+
+    def test_oldest(self):
+        q = AccessQueue(8)
+        a, b = mk(), mk()
+        q.push(b)
+        q.push(a)
+        assert q.oldest() is (a if a.seq < b.seq else b)
+
+    def test_oldest_empty(self):
+        assert AccessQueue(4).oldest() is None
+
+    def test_iteration(self):
+        q = AccessQueue(4)
+        items = [mk(), mk()]
+        for a in items:
+            q.push(a)
+        assert list(q) == items
+
+
+class TestRemoval:
+    def test_remove(self):
+        q = AccessQueue(4)
+        a = mk()
+        q.push(a)
+        q.remove(a)
+        assert len(q) == 0
+
+    def test_remove_missing_raises(self):
+        q = AccessQueue(4)
+        with pytest.raises(ValueError):
+            q.remove(mk())
+
+
+class TestOccupancyIntegral:
+    def test_mean_occupancy(self):
+        q = AccessQueue(4)
+        a = mk()
+        q.push(a, now=0)
+        q.remove(a, now=100)   # 1 entry for 100 ps
+        assert q.mean_occupancy(200) == pytest.approx(0.5)
+
+    def test_mean_occupancy_at_zero_time(self):
+        assert AccessQueue(4).mean_occupancy(0) == 0.0

@@ -1,0 +1,106 @@
+"""ATCache-style SRAM tag cache (Fig. 18 model)."""
+
+import pytest
+
+from repro.cache.dramcache import DRAMCacheArray
+from repro.cache.tagcache import TagCache
+from repro.config import DRAMCacheGeometry
+
+GEOM = DRAMCacheGeometry(size_bytes=8 * 2**20)
+
+
+@pytest.fixture
+def array():
+    return DRAMCacheArray(GEOM, "sa")
+
+
+class TestDisabled:
+    def test_size_zero_counts_every_lookup(self, array):
+        tc = TagCache(array, 0)
+        assert not tc.enabled
+        for i in range(10):
+            assert not tc.access(i * 64, False)
+        assert tc.stats.dram_tag_reads == 10
+        assert tc.stats.dram_tag_accesses == 10
+
+
+class TestHitPath:
+    def test_repeat_access_hits(self, array):
+        tc = TagCache(array, 32 * 1024)
+        assert not tc.access(0x4000, False)   # demand miss
+        assert tc.access(0x4000, False)       # SRAM hit
+        assert tc.stats.tag_hits == 1
+
+    def test_same_set_same_tag_block(self, array):
+        """Two blocks of one set share the tag block: second lookup hits."""
+        tc = TagCache(array, 32 * 1024)
+        a = array.sa.block_addr(5, 1) * 64
+        b = array.sa.block_addr(5, 2) * 64
+        tc.access(a, False)
+        assert tc.access(b, False)
+
+    def test_prefetch_covers_next_sets(self, array):
+        """Sequential blocks -> consecutive sets -> prefetched tag blocks."""
+        tc = TagCache(array, 64 * 1024, prefetch_degree=3)
+        tc.access(0 * 64, False)    # set 0; prefetches sets 1..3
+        assert tc.access(1 * 64, False)
+        assert tc.access(2 * 64, False)
+        assert tc.access(3 * 64, False)
+        assert not tc.access(4 * 64, False)  # beyond prefetch degree
+
+    def test_prefetch_fills_counted(self, array):
+        tc = TagCache(array, 64 * 1024, prefetch_degree=3)
+        tc.access(0, False)
+        assert tc.stats.prefetch_fills == 3
+        assert tc.stats.dram_tag_reads == 4   # demand + 3 prefetch
+
+
+class TestDirtyWriteback:
+    @staticmethod
+    def _colliding_sets(tc, array, n):
+        """DRAM-cache set indices whose tag blocks share one SRAM set."""
+        target = tc._set_of(tc._tag_block_of_set(0))
+        found = [0]
+        s = 1
+        while len(found) < n:
+            if tc._set_of(tc._tag_block_of_set(s)) == target:
+                found.append(s)
+            s += 1
+        return found
+
+    def test_write_lookup_dirties_block(self, array):
+        tc = TagCache(array, 512, assoc=2, prefetch_degree=0)
+        sets = self._colliding_sets(tc, array, 3)
+        tc.access(array.sa.block_addr(sets[0], 1) * 64, is_write=True)
+        # Evict it by filling its SRAM set with other tag blocks.
+        tc.access(array.sa.block_addr(sets[1], 1) * 64, False)
+        tc.access(array.sa.block_addr(sets[2], 1) * 64, False)
+        assert tc.stats.dram_tag_writes >= 1
+
+    def test_clean_eviction_free(self, array):
+        tc = TagCache(array, 512, assoc=2, prefetch_degree=0)
+        sets = self._colliding_sets(tc, array, 3)
+        for s in sets:
+            tc.access(array.sa.block_addr(s, 1) * 64, is_write=False)
+        assert tc.stats.dram_tag_writes == 0
+
+
+class TestTrafficClaim:
+    def test_small_tag_cache_amplifies_traffic(self, array):
+        """The Fig. 18 effect: random tag traffic + prefetch > baseline."""
+        import random
+        rng = random.Random(1)
+        base = TagCache(array, 0)
+        small = TagCache(array, 32 * 1024, prefetch_degree=3)
+        addrs = [rng.randrange(0, GEOM.data_capacity) & ~63
+                 for _ in range(20_000)]
+        for a in addrs:
+            base.access(a, False)
+            small.access(a, False)
+        assert small.stats.dram_tag_accesses > base.stats.dram_tag_accesses
+
+    def test_streaming_tag_cache_hit_rate(self, array):
+        tc = TagCache(array, 128 * 1024, prefetch_degree=3)
+        for i in range(4000):
+            tc.access(i * 64, False)
+        assert tc.stats.hit_rate > 0.6   # spatial prefetch pays off

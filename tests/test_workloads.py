@@ -1,0 +1,141 @@
+"""Benchmark profiles, trace generation, Table I."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.generator import make_trace
+from repro.workloads.profiles import PROFILES, BenchmarkProfile, profile
+from repro.workloads.table1 import TABLE1_MIXES, all_mix_ids, mix_name, mix_profiles
+
+
+class TestProfiles:
+    def test_eleven_benchmarks(self):
+        assert len(PROFILES) == 11
+
+    def test_lookup(self):
+        assert profile("mcf").name == "mcf"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            profile("perlbench")
+
+    def test_validation_apki(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", l2_apki=0, store_fraction=0.1,
+                             seq_fraction=0.5, num_streams=1, footprint_mb=1)
+
+    def test_validation_fraction(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", l2_apki=10, store_fraction=1.5,
+                             seq_fraction=0.5, num_streams=1, footprint_mb=1)
+
+    def test_validation_streams(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", l2_apki=10, store_fraction=0.1,
+                             seq_fraction=0.5, num_streams=0, footprint_mb=1)
+
+    def test_mean_gap(self):
+        assert profile("mcf").mean_gap_instructions == pytest.approx(1000 / 45)
+
+    def test_spread_of_intensities(self):
+        """The suite spans memory intensities like the paper's selection."""
+        apkis = [p.l2_apki for p in PROFILES.values()]
+        assert min(apkis) <= 10 and max(apkis) >= 40
+
+    def test_streamers_present(self):
+        assert profile("libquantum").seq_fraction > 0.9
+        assert profile("mcf").seq_fraction <= 0.2
+
+    def test_write_heavy_lbm(self):
+        assert profile("lbm").store_fraction >= 0.4
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        t1 = make_trace(profile("soplex"), seed=5)
+        t2 = make_trace(profile("soplex"), seed=5)
+        assert [next(t1) for _ in range(500)] == [next(t2) for _ in range(500)]
+
+    def test_seed_matters(self):
+        t1 = make_trace(profile("soplex"), seed=5)
+        t2 = make_trace(profile("soplex"), seed=6)
+        assert ([next(t1) for _ in range(200)]
+                != [next(t2) for _ in range(200)])
+
+    def test_addresses_within_footprint(self):
+        p = profile("gcc")
+        t = make_trace(p, seed=1, footprint_scale=1 / 8)
+        limit = max(1024 * 64, int(p.footprint_bytes / 8))
+        for _ in range(2000):
+            _, addr, _, _ = next(t)
+            assert 0 <= addr < limit + 64
+
+    def test_core_offset_applied(self):
+        t = make_trace(profile("gcc"), seed=1, core_offset=1 << 44)
+        for _ in range(100):
+            _, addr, _, _ = next(t)
+            assert addr >= 1 << 44
+
+    def test_store_fraction_approximate(self):
+        p = profile("lbm")  # 45% stores
+        t = make_trace(p, seed=3)
+        writes = sum(next(t)[2] for _ in range(20_000))
+        assert 0.40 < writes / 20_000 < 0.50
+
+    def test_mean_gap_approximates_apki(self):
+        p = profile("milc")  # APKI 20 -> mean gap 50
+        t = make_trace(p, seed=4)
+        gaps = [next(t)[0] for _ in range(30_000)]
+        mean = sum(gaps) / len(gaps)
+        assert 0.7 * p.mean_gap_instructions < mean < 1.3 * p.mean_gap_instructions
+
+    def test_streaming_blocks_sequential(self):
+        p = profile("libquantum")  # 95% sequential
+        t = make_trace(p, seed=7)
+        seq_steps = 0
+        prev = None
+        for _ in range(2000):
+            _, addr, _, _ = next(t)
+            if prev is not None and addr - prev == 64:
+                seq_steps += 1
+            prev = addr
+        assert seq_steps > 1000   # majority single-block strides
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_trace(profile("gcc"), footprint_scale=0)
+
+    def test_pcs_stable_for_streams(self):
+        t = make_trace(profile("libquantum"), seed=2)
+        pcs = {next(t)[3] for _ in range(5000)}
+        # few distinct PCs: streams + the random-access pool
+        assert len(pcs) <= 2 + 8
+
+
+class TestTable1:
+    def test_thirty_mixes(self):
+        assert all_mix_ids() == list(range(1, 31))
+
+    def test_exact_paper_rows(self):
+        assert TABLE1_MIXES[1] == ("soplex", "mcf", "gcc", "libquantum")
+        assert TABLE1_MIXES[15] == ("omnetpp", "mcf", "leslie3d", "lbm")
+        assert TABLE1_MIXES[30] == ("omnetpp", "bwaves", "leslie3d", "GemsFDTD")
+
+    def test_mix_profiles_resolve(self):
+        for m in all_mix_ids():
+            profs = mix_profiles(m)
+            assert len(profs) == 4
+            assert all(p.name in PROFILES for p in profs)
+
+    def test_mix_name(self):
+        assert mix_name(1) == "soplex-mcf-gcc-libquantum"
+
+    def test_invalid_mix(self):
+        with pytest.raises(KeyError):
+            mix_profiles(31)
+
+    def test_all_names_known(self):
+        for names in TABLE1_MIXES.values():
+            for n in names:
+                assert n in PROFILES
