@@ -41,9 +41,15 @@ from repro.core import (
     RODController,
     make_controller,
 )
-from repro.sim.system import System, SystemResult
+from repro.metrics import MetricGroup, MetricRegistry
+from repro.sim.system import (
+    RESULT_SCHEMA_VERSION,
+    ResultSchemaError,
+    System,
+    SystemResult,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DRAMTimings",
@@ -56,5 +62,9 @@ __all__ = [
     "make_controller",
     "System",
     "SystemResult",
+    "ResultSchemaError",
+    "RESULT_SCHEMA_VERSION",
+    "MetricGroup",
+    "MetricRegistry",
     "__version__",
 ]

@@ -14,20 +14,21 @@ part of the shared substrate here, not a DCA-specific feature.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.metrics.registry import MetricGroup, derived
 
 
-@dataclass
-class MAPIStats:
+class MAPIStats(MetricGroup):
     """Prediction-accuracy counters."""
 
-    predictions: int = 0
-    predicted_miss: int = 0
-    correct: int = 0
-    wasted_fetches: int = 0     # predicted miss, was actually a hit
-    missed_opportunities: int = 0  # predicted hit, was actually a miss
+    COUNTERS = (
+        "predictions",
+        "predicted_miss",
+        "correct",
+        "wasted_fetches",          # predicted miss, was actually a hit
+        "missed_opportunities",    # predicted hit, was actually a miss
+    )
 
-    @property
+    @derived
     def accuracy(self) -> float:
         return self.correct / self.predictions if self.predictions else 0.0
 

@@ -16,26 +16,26 @@ are few.  This model reproduces that accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.cache.dramcache import DRAMCacheArray
+from repro.metrics.registry import MetricGroup, derived
 
 
-@dataclass
-class TagCacheStats:
+class TagCacheStats(MetricGroup):
     """Tag-traffic accounting (the Fig. 18 metric is ``dram_tag_accesses``)."""
 
-    requests: int = 0
-    tag_hits: int = 0
-    dram_tag_reads: int = 0        # demand fills + prefetch fills
-    dram_tag_writes: int = 0       # dirty tag-block writebacks
-    prefetch_fills: int = 0
+    COUNTERS = (
+        "requests",
+        "tag_hits",
+        "dram_tag_reads",         # demand fills + prefetch fills
+        "dram_tag_writes",        # dirty tag-block writebacks
+        "prefetch_fills",
+    )
 
-    @property
+    @derived
     def dram_tag_accesses(self) -> int:
         return self.dram_tag_reads + self.dram_tag_writes
 
-    @property
+    @derived
     def hit_rate(self) -> float:
         return self.tag_hits / self.requests if self.requests else 0.0
 

@@ -28,7 +28,6 @@ Subclasses implement exactly two hooks:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.cache.dramcache import DRAMCacheArray
@@ -41,40 +40,43 @@ from repro.core.frfcfs import FRFCFSScheduler
 from repro.core.queues import AccessQueue
 from repro.dram.device import DRAMDevice
 from repro.mem.mainmem import MainMemory
+from repro.metrics.registry import MetricGroup, MetricRegistry, derived
 from repro.sim.engine import Simulator
 
 
-@dataclass
-class ControllerStats:
+class ControllerStats(MetricGroup):
     """Controller-level counters (substrate counters live on the channels)."""
 
-    reads_submitted: int = 0
-    writebacks_submitted: int = 0
-    refills_submitted: int = 0
-    reads_done: int = 0
-    read_latency_sum_ps: int = 0
-    read_hits: int = 0
-    read_misses: int = 0
-    writeback_hits: int = 0
-    writeback_misses: int = 0
-    memory_fetches: int = 0
-    wasted_fetches: int = 0           # MAP-I predicted miss, tag said hit
-    victim_mem_writes: int = 0
-    forced_flushes: int = 0
-    opportunistic_flushes: int = 0
-    read_priority_inversions: int = 0  # LR issued from read pool while a PR waited
-    lr_ofs_issues: int = 0             # DCA: LRs drained by OFS
-    lr_drain_issues: int = 0           # DCA: LRs drained by Algorithm 1 hysteresis
-    forwarded_reads: int = 0           # reads served from the write buffer
+    COUNTERS = (
+        "reads_submitted",
+        "writebacks_submitted",
+        "refills_submitted",
+        "reads_done",
+        "read_latency_sum_ps",
+        "read_hits",
+        "read_misses",
+        "writeback_hits",
+        "writeback_misses",
+        "memory_fetches",
+        "wasted_fetches",           # MAP-I predicted miss, tag said hit
+        "victim_mem_writes",
+        "forced_flushes",
+        "opportunistic_flushes",
+        "read_priority_inversions",  # LR issued from read pool while a PR waited
+        "lr_ofs_issues",             # DCA: LRs drained by OFS
+        "lr_drain_issues",           # DCA: LRs drained by Algorithm 1 hysteresis
+        "forwarded_reads",           # reads served from the write buffer
+    )
 
-    @property
+    @derived
     def mean_read_latency_ps(self) -> float:
         return (self.read_latency_sum_ps / self.reads_done
                 if self.reads_done else 0.0)
 
-    def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+    @derived
+    def dram_read_hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
 
 
 _SCHEDULERS = {"bliss": BLISSScheduler, "frfcfs": FRFCFSScheduler}
@@ -125,6 +127,11 @@ class BaseController:
         #: end-of-run drain: ignore the low watermark so queues empty out
         self.draining = False
         self.stats = ControllerStats()
+        #: unified metrics tree: controller counters + per-channel substrate
+        #: counters, consumed generically by the system-level registry
+        self.metrics = MetricRegistry()
+        self.metrics.register("controller", self.stats)
+        self.metrics.register("substrate", self.device.metrics)
 
     # ------------------------------------------------------------------ admission
 
@@ -447,9 +454,14 @@ class BaseController:
     # ------------------------------------------------------------------ reporting
 
     def reset_stats(self) -> None:
-        """Zero all counters (called at the warm-up boundary)."""
+        """Zero controller + substrate counters (warm-up boundary).
+
+        Deliberately narrower than ``self.metrics.reset()``: the system
+        harness mounts further groups into this registry, some of which
+        (MAP-I, Lee) accumulate across the warm-up boundary.
+        """
         self.stats.reset()
-        self.device.reset_stats()
+        self.device.metrics.reset()
         self.array.reset_counters()
 
     def queues_empty(self) -> bool:

@@ -47,7 +47,8 @@ class Channel:
     __slots__ = ("timings", "org", "banks", "bus_free", "bus_dir", "stats",
                  "_last_read_end", "_last_write_end")
 
-    def __init__(self, timings: DRAMTimings, org: DRAMOrganization):
+    def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
+                 stats: ChannelStats | None = None):
         self.timings = timings
         self.org = org
         nbanks = org.ranks_per_channel * org.banks_per_rank
@@ -56,7 +57,9 @@ class Channel:
         self.bus_dir: int = _DIR_NONE
         self._last_read_end: int = 0
         self._last_write_end: int = 0
-        self.stats = ChannelStats()
+        # The counter group may be supplied by the owning device so the
+        # same live object sits in its metrics registry.
+        self.stats = stats if stats is not None else ChannelStats()
 
     # -- queries (no mutation) ------------------------------------------------
 

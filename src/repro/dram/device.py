@@ -6,13 +6,16 @@ from repro.config import DRAMOrganization, DRAMTimings
 from repro.dram.address import AddressMapper, DecodedAddress
 from repro.dram.channel import Channel
 from repro.dram.stats import ChannelStats
+from repro.metrics.registry import MetricRegistry
 
 
 class DRAMDevice:
     """All channels of the stacked DRAM plus address decoding.
 
     The controller owns one queue pair per channel; the device provides the
-    timing substrate those queues schedule onto.
+    timing substrate those queues schedule onto.  Per-channel counter
+    groups are published in :attr:`metrics` (``ch0``, ``ch1``, ...) so the
+    controller/system registries can mount the substrate subtree directly.
     """
 
     def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
@@ -20,7 +23,12 @@ class DRAMDevice:
         self.timings = timings
         self.org = org
         self.mapper = AddressMapper(org, xor_remap=xor_remap)
-        self.channels = [Channel(timings, org) for _ in range(org.channels)]
+        self.metrics = MetricRegistry()
+        self.channels = []
+        for i in range(org.channels):
+            stats = ChannelStats()
+            self.metrics.register(f"ch{i}", stats)
+            self.channels.append(Channel(timings, org, stats=stats))
 
     def decode(self, addr: int) -> DecodedAddress:
         return self.mapper.decode(addr)
@@ -33,5 +41,4 @@ class DRAMDevice:
         return ChannelStats.sum([c.stats for c in self.channels])
 
     def reset_stats(self) -> None:
-        for c in self.channels:
-            c.reset_stats()
+        self.metrics.reset()

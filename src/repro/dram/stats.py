@@ -7,64 +7,49 @@ The evaluation section of the paper reports three substrate-level metrics:
 * **row-buffer hit rate for reads** (Figs. 16, 17);
 * bus busy time (used internally for sanity checks).
 
-``ChannelStats`` tracks these per channel; :meth:`ChannelStats.merge`
-aggregates across channels for reporting.
+``ChannelStats`` tracks these per channel as a
+:class:`repro.metrics.registry.MetricGroup`; the shared base supplies
+``reset``/``merge``/``sum``/``snapshot``, and :class:`derived` metrics are
+recomputed from counters on demand (so they survive aggregation).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from repro.metrics.registry import MetricGroup, derived
 
 
-@dataclass
-class ChannelStats:
+class ChannelStats(MetricGroup):
     """Per-channel substrate counters.  All counters are monotonically
     increasing; :meth:`reset` zeroes them after warm-up."""
 
-    read_accesses: int = 0
-    write_accesses: int = 0
-    turnarounds: int = 0
-    read_row_hits: int = 0
-    read_row_closed: int = 0
-    read_row_conflicts: int = 0
-    write_row_hits: int = 0
-    write_row_closed: int = 0
-    write_row_conflicts: int = 0
-    bus_busy_ps: int = 0
+    COUNTERS = (
+        "read_accesses",
+        "write_accesses",
+        "turnarounds",
+        "read_row_hits",
+        "read_row_closed",
+        "read_row_conflicts",
+        "write_row_hits",
+        "write_row_closed",
+        "write_row_conflicts",
+        "bus_busy_ps",
+    )
 
-    @property
+    @derived
     def total_accesses(self) -> int:
         return self.read_accesses + self.write_accesses
 
-    @property
+    @derived
     def accesses_per_turnaround(self) -> float:
         """Figs. 14/15 metric; the higher the better."""
         if self.turnarounds == 0:
             return float(self.total_accesses)
         return self.total_accesses / self.turnarounds
 
-    @property
+    @derived
     def read_row_hit_rate(self) -> float:
         """Figs. 16/17 metric: fraction of read accesses hitting an open row."""
         total = self.read_row_hits + self.read_row_closed + self.read_row_conflicts
         if total == 0:
             return 0.0
         return self.read_row_hits / total
-
-    def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
-
-    def merge(self, other: "ChannelStats") -> "ChannelStats":
-        """Return a new ChannelStats with summed counters."""
-        out = ChannelStats()
-        for f in fields(self):
-            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
-        return out
-
-    @staticmethod
-    def sum(stats: list["ChannelStats"]) -> "ChannelStats":
-        out = ChannelStats()
-        for s in stats:
-            out = out.merge(s)
-        return out

@@ -1,11 +1,19 @@
-"""Shared experiment machinery: run specs, caching, parallel execution.
+"""Shared experiment machinery: run specs, result store, parallel execution.
 
 The evaluation figures 8-17 all read off the same **grid** of simulations
 (design x organization x remapping x mix), plus single-core *alone* runs
 for weighted-speedup denominators.  ``run_grid`` executes a list of
-:class:`RunSpec` with a process pool and a JSON disk cache keyed by the
-spec+parameter hash, so regenerating a second figure reuses the first's
-simulations.
+:class:`RunSpec` with a process pool and a :class:`ResultStore` — a JSON
+disk cache keyed by the spec+parameter hash **and the result schema
+version** (see DESIGN.md), so regenerating a second figure reuses the
+first's simulations and entries written by older code are invalidated
+instead of silently reused.
+
+Execution uses ``as_completed`` futures: one crashed worker no longer
+kills the whole grid (completed points are still stored and reported, and
+the failures surface together in a :class:`GridExecutionError`), and the
+returned mapping is always in input-spec order regardless of completion
+order, so downstream iteration is deterministic.
 """
 
 from __future__ import annotations
@@ -14,14 +22,20 @@ import dataclasses
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.config import scaled_config
 from repro.metrics.speedup import geomean, weighted_speedup
-from repro.sim.system import System, SystemResult
+from repro.sim.system import (
+    RESULT_SCHEMA_VERSION,
+    ResultSchemaError,
+    System,
+    SystemResult,
+)
 from repro.workloads.profiles import PROFILES, profile
 from repro.workloads.table1 import TABLE1_MIXES, mix_profiles
 
@@ -91,80 +105,160 @@ def run_one(spec: RunSpec, params: SimParams) -> SystemResult:
     return result
 
 
-# ---------------------------------------------------------------- caching
+# ---------------------------------------------------------------- result store
 
 def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", "results/cache"))
 
 
+class ResultStore:
+    """Versioned on-disk store of :class:`SystemResult` JSON entries.
+
+    The cache key hashes ``(schema_version, spec, params)``, so a schema
+    bump changes every key and pre-refactor entries simply stop matching;
+    as defence in depth, :meth:`load` also validates the entry's recorded
+    ``schema_version`` and exact field set and treats any mismatch (or
+    corruption) as a miss.  ``enabled=False`` turns both lookup and
+    storage off — the ``--no-cache`` CLI path.
+    """
+
+    def __init__(self, cache_dir: Optional[Path] = None,
+                 enabled: bool = True):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.enabled = enabled
+
+    def key(self, spec: RunSpec, params: SimParams) -> str:
+        payload = json.dumps(
+            [RESULT_SCHEMA_VERSION, dataclasses.asdict(spec),
+             dataclasses.asdict(params)],
+            sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def path(self, spec: RunSpec, params: SimParams) -> Path:
+        return self.cache_dir / f"{self.key(spec, params)}.json"
+
+    def load(self, spec: RunSpec, params: SimParams) -> Optional[SystemResult]:
+        if not self.enabled:
+            return None
+        path = self.path(spec, params)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return SystemResult.from_cache_dict(data)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError,
+                ResultSchemaError, TypeError):
+            # Unreadable, truncated, corrupt or stale-schema entry:
+            # a miss, never an abort.
+            return None
+
+    def store(self, spec: RunSpec, params: SimParams,
+              result: SystemResult) -> None:
+        if not self.enabled:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        key = self.key(spec, params)
+        tmp = self.cache_dir / f"{key}.tmp"
+        tmp.write_text(json.dumps(result.to_cache_dict()))
+        tmp.replace(self.cache_dir / f"{key}.json")
+
+
 def _spec_key(spec: RunSpec, params: SimParams) -> str:
-    payload = json.dumps(
-        [dataclasses.asdict(spec), dataclasses.asdict(params)],
-        sort_keys=True)
-    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+    """Cache key of one spec (compatibility helper; see ResultStore.key)."""
+    return ResultStore().key(spec, params)
 
 
-def _load_cached(key: str, cache_dir: Path) -> Optional[SystemResult]:
-    path = cache_dir / f"{key}.json"
-    if not path.exists():
-        return None
-    try:
-        data = json.loads(path.read_text())
-        return SystemResult(**data)
-    except (json.JSONDecodeError, TypeError):
-        return None
+# ---------------------------------------------------------------- execution
 
+class GridExecutionError(RuntimeError):
+    """One or more grid points crashed; the rest completed (and cached).
 
-def _store_cached(key: str, result: SystemResult, cache_dir: Path) -> None:
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    tmp = cache_dir / f"{key}.tmp"
-    tmp.write_text(json.dumps(dataclasses.asdict(result)))
-    tmp.replace(cache_dir / f"{key}.json")
+    Attributes
+    ----------
+    failures:
+        ``{spec: formatted traceback string}`` of every crashed point.
+    results:
+        The results of the points that did complete, in input order.
+    """
 
-
-def _worker(args):
-    spec, params = args
-    return run_one(spec, params)
+    def __init__(self, failures: dict, results: dict):
+        self.failures = failures
+        self.results = results
+        lines = [f"{len(failures)} of {len(failures) + len(results)} grid "
+                 f"points failed:"]
+        for spec, tb in failures.items():
+            last = tb.strip().splitlines()[-1] if tb else "?"
+            lines.append(f"  {spec.label()} (mix={spec.mix_id}, "
+                         f"alone={spec.alone_benchmark}): {last}")
+        super().__init__("\n".join(lines))
 
 
 def run_grid(specs: Sequence[RunSpec], params: SimParams,
              jobs: int = 0, use_cache: bool = True,
-             progress: bool = False) -> dict[RunSpec, SystemResult]:
-    """Run many simulation points, with caching and multiprocessing."""
-    cache_dir = default_cache_dir()
-    out: dict[RunSpec, SystemResult] = {}
+             progress: bool = False,
+             cache_dir: Optional[Path] = None,
+             store: Optional[ResultStore] = None) -> dict[RunSpec, SystemResult]:
+    """Run many simulation points, with caching and multiprocessing.
+
+    Results come back keyed in **input-spec order** whatever order the
+    workers finish in.  A crashed point does not abort the rest: every
+    other point still runs (and is stored), then a
+    :class:`GridExecutionError` carrying all failures is raised.
+    """
+    if store is None:
+        store = ResultStore(cache_dir, enabled=use_cache)
+    done: dict[RunSpec, SystemResult] = {}
+    failures: dict[RunSpec, str] = {}
     todo: list[RunSpec] = []
+    seen: set[RunSpec] = set()
     for spec in specs:
-        if use_cache:
-            cached = _load_cached(_spec_key(spec, params), cache_dir)
-            if cached is not None:
-                out[spec] = cached
-                continue
-        todo.append(spec)
+        if spec in seen:
+            continue
+        seen.add(spec)
+        cached = store.load(spec, params)
+        if cached is not None:
+            done[spec] = cached
+        else:
+            todo.append(spec)
+
+    def record(i: int, spec: RunSpec, result: SystemResult) -> None:
+        done[spec] = result
+        store.store(spec, params, result)
+        if progress:
+            print(f"  [{i + 1}/{len(todo)}] {spec.label()} done", flush=True)
 
     if todo:
         if jobs <= 0:
             jobs = min(8, os.cpu_count() or 1)
+        # Only the simulation itself is failure-isolated; a store/report
+        # error is an infrastructure problem and propagates as itself
+        # (guarding record() too would book one spec as both a success
+        # and a failure).
         if jobs == 1 or len(todo) == 1:
-            results = map(_worker, [(s, params) for s in todo])
-            for i, (spec, result) in enumerate(zip(todo, results)):
-                out[spec] = result
-                if use_cache:
-                    _store_cached(_spec_key(spec, params), result, cache_dir)
-                if progress:
-                    print(f"  [{i + 1}/{len(todo)}] {spec.label()} done",
-                          flush=True)
+            for i, spec in enumerate(todo):
+                try:
+                    result = run_one(spec, params)
+                except Exception:
+                    failures[spec] = traceback.format_exc()
+                    continue
+                record(i, spec, result)
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                results = pool.map(_worker, [(s, params) for s in todo])
-                for i, (spec, result) in enumerate(zip(todo, results)):
-                    out[spec] = result
-                    if use_cache:
-                        _store_cached(_spec_key(spec, params), result,
-                                      cache_dir)
-                    if progress:
-                        print(f"  [{i + 1}/{len(todo)}] {spec.label()} done",
-                              flush=True)
+                futures = {pool.submit(run_one, spec, params): spec
+                           for spec in todo}
+                for i, fut in enumerate(as_completed(futures)):
+                    spec = futures[fut]
+                    try:
+                        result = fut.result()
+                    except Exception:
+                        failures[spec] = traceback.format_exc()
+                        continue
+                    record(i, spec, result)
+
+    # Deterministic ordering: follow the input sequence, not completion.
+    out = {spec: done[spec] for spec in specs if spec in done}
+    if failures:
+        raise GridExecutionError(failures, out)
     return out
 
 

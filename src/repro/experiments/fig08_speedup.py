@@ -31,10 +31,11 @@ PAPER = {("sa", "CD"): 1.0, ("sa", "ROD"): 1.092, ("sa", "DCA"): 1.164,
 
 
 def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
-        progress: bool = False):
+        progress: bool = False, use_cache: bool = True):
     specs = grid_specs(mixes, ("sa", "dm"))
     specs += alone_specs("sa") + alone_specs("dm")
-    results = run_grid(specs, params, jobs=jobs, progress=progress)
+    results = run_grid(specs, params, jobs=jobs, progress=progress,
+                       use_cache=use_cache)
 
     data: dict = {"mixes": list(mixes), "speedups": {}}
     rows = []

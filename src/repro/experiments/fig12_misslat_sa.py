@@ -12,6 +12,6 @@ TITLE = "Fig. 12: L2 miss latency improvement, set-associative (vs CD)"
 
 
 def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
-        progress: bool = False):
+        progress: bool = False, use_cache: bool = True):
     return run_org("sa", params, mixes, jobs=jobs, progress=progress,
-                   title=TITLE)
+                   use_cache=use_cache, title=TITLE)

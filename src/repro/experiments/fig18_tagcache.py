@@ -66,7 +66,7 @@ def tag_traffic(mix_id: int, size_kb: int, params: SimParams,
 
 
 def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
-        progress: bool = False):
+        progress: bool = False, use_cache: bool = True):
     use = list(mixes)[:3] or [1]
     counts = {kb: sum(tag_traffic(m, kb, params) for m in use)
               for kb in SIZES_KB}

@@ -31,11 +31,12 @@ TITLE = "Fig. 19: speedup under DRAM-aware writeback (normalized to LEE+CD)"
 
 
 def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
-        progress: bool = False):
+        progress: bool = False, use_cache: bool = True):
     specs = grid_specs(mixes, ("sa", "dm"), lee_writeback=True)
     specs += alone_specs("sa", lee_writeback=True)
     specs += alone_specs("dm", lee_writeback=True)
-    results = run_grid(specs, params, jobs=jobs, progress=progress)
+    results = run_grid(specs, params, jobs=jobs, progress=progress,
+                       use_cache=use_cache)
 
     data: dict = {"mixes": list(mixes), "speedups": {}}
     rows = []

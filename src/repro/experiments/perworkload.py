@@ -33,10 +33,12 @@ def _label(design: str, remap: bool) -> str:
 
 
 def run_org(organization: str, params: SimParams, mixes: Sequence[int],
-            jobs: int = 0, progress: bool = False, title: str = ""):
+            jobs: int = 0, progress: bool = False, use_cache: bool = True,
+            title: str = ""):
     specs = grid_specs(mixes, (organization,), remaps=(False, True))
     specs += alone_specs(organization)
-    results = run_grid(specs, params, jobs=jobs, progress=progress)
+    results = run_grid(specs, params, jobs=jobs, progress=progress,
+                       use_cache=use_cache)
     alone = alone_ipc_table(
         {s: r for s, r in results.items() if s.alone_benchmark})
 

@@ -22,9 +22,11 @@ from repro.experiments.perworkload import VARIANTS, _label
 
 
 def run_org(organization: str, params: SimParams, mixes: Sequence[int],
-            jobs: int = 0, progress: bool = False, title: str = ""):
+            jobs: int = 0, progress: bool = False, use_cache: bool = True,
+            title: str = ""):
     specs = grid_specs(mixes, (organization,), remaps=(False, True))
-    results = run_grid(specs, params, jobs=jobs, progress=progress)
+    results = run_grid(specs, params, jobs=jobs, progress=progress,
+                       use_cache=use_cache)
 
     rates: dict[str, float] = {}
     for design, remap in VARIANTS:

@@ -61,15 +61,14 @@ def run_experiment(exp_id: str, params: common.SimParams, mixes: list[int],
     mod = MODULES[exp_id]
     print(f"=== {exp_id}: {mod.TITLE}")
     t0 = time.time()
-    if use_cache:
+    try:
         report, data, checks = mod.run(params, mixes, jobs=jobs,
-                                       progress=True)
-    else:
-        import unittest.mock as _mock
-        with _mock.patch.object(common, "default_cache_dir",
-                                lambda: out_dir / "cache-disabled"):
-            report, data, checks = mod.run(params, mixes, jobs=jobs,
-                                           progress=True)
+                                       progress=True, use_cache=use_cache)
+    except common.GridExecutionError as exc:
+        # Completed points were still stored; report the casualties and
+        # fail this experiment without killing the remaining ids.
+        print(f"  ERROR: {exc}", file=sys.stderr)
+        return False
     elapsed = time.time() - t0
     print(report)
     ok = True

@@ -13,7 +13,7 @@ TITLE = "Table I: workload groupings"
 
 
 def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
-        progress: bool = False):
+        progress: bool = False, use_cache: bool = True):
     rows = []
     for m in sorted(TABLE1_MIXES):
         names = TABLE1_MIXES[m]

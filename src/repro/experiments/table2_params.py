@@ -12,7 +12,7 @@ TITLE = "Table II: system and die-stacked DRAM parameters"
 
 
 def run(params: SimParams, mixes: Sequence[int], jobs: int = 0,
-        progress: bool = False):
+        progress: bool = False, use_cache: bool = True):
     cfg = paper_config()
     t = cfg.timings
     rod_q = QueueConfig.for_design("ROD")

@@ -23,9 +23,11 @@ from repro.metrics.speedup import geomean
 
 
 def run_org(organization: str, params: SimParams, mixes: Sequence[int],
-            jobs: int = 0, progress: bool = False, title: str = ""):
+            jobs: int = 0, progress: bool = False, use_cache: bool = True,
+            title: str = ""):
     specs = grid_specs(mixes, (organization,))
-    results = run_grid(specs, params, jobs=jobs, progress=progress)
+    results = run_grid(specs, params, jobs=jobs, progress=progress,
+                       use_cache=use_cache)
 
     apt: dict[str, float] = {}
     for design in DESIGNS:

@@ -18,18 +18,19 @@ a DCA controller still improves on it by ~7 % (direct-mapped).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.mem.sram import SRAMCache
+from repro.metrics.registry import MetricGroup, derived
 
 
-@dataclass
-class LeeWritebackStats:
-    triggers: int = 0          # demand dirty evictions examined
-    eager_writebacks: int = 0  # extra same-row writebacks emitted
+class LeeWritebackStats(MetricGroup):
+    COUNTERS = (
+        "triggers",           # demand dirty evictions examined
+        "eager_writebacks",   # extra same-row writebacks emitted
+    )
 
-    @property
+    @derived
     def batch_factor(self) -> float:
         """Mean extra writebacks emitted per trigger."""
         return self.eager_writebacks / self.triggers if self.triggers else 0.0

@@ -13,27 +13,19 @@ DRAM cache) are fire-and-forget but still consume bus slots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.config import MainMemoryConfig
+from repro.metrics.registry import MetricGroup, derived
 from repro.sim.engine import Simulator
 
 
-@dataclass
-class MainMemoryStats:
-    reads: int = 0
-    writes: int = 0
-    bus_busy_ps: int = 0
-    read_latency_sum_ps: int = 0
+class MainMemoryStats(MetricGroup):
+    COUNTERS = ("reads", "writes", "bus_busy_ps", "read_latency_sum_ps")
 
-    @property
+    @derived
     def mean_read_latency_ps(self) -> float:
         return self.read_latency_sum_ps / self.reads if self.reads else 0.0
-
-    def reset(self) -> None:
-        self.reads = self.writes = 0
-        self.bus_busy_ps = self.read_latency_sum_ps = 0
 
 
 class MainMemory:

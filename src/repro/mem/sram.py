@@ -14,26 +14,18 @@ blocks bound for the same row (see :mod:`repro.mem.llc_writeback`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.config import CacheGeometry
+from repro.metrics.registry import MetricGroup, derived
 
 
-@dataclass
-class SRAMCacheStats:
-    accesses: int = 0
-    hits: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
+class SRAMCacheStats(MetricGroup):
+    COUNTERS = ("accesses", "hits", "evictions", "dirty_evictions")
 
-    @property
+    @derived
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
-
-    def reset(self) -> None:
-        self.accesses = self.hits = 0
-        self.evictions = self.dirty_evictions = 0
 
 
 class SRAMCache:

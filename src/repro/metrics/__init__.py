@@ -1,9 +1,21 @@
-"""Performance metrics: weighted speedup, geometric means, aggregation."""
+"""Metrics: the unified counter registry plus speedup aggregation."""
 
+from repro.metrics.registry import (
+    MetricGroup,
+    MetricRegistry,
+    derived,
+)
 from repro.metrics.speedup import (
     geomean,
     normalized_weighted_speedups,
     weighted_speedup,
 )
 
-__all__ = ["geomean", "weighted_speedup", "normalized_weighted_speedups"]
+__all__ = [
+    "MetricGroup",
+    "MetricRegistry",
+    "derived",
+    "geomean",
+    "weighted_speedup",
+    "normalized_weighted_speedups",
+]

@@ -1,0 +1,232 @@
+"""Unified hierarchical metrics: counter groups and a named registry.
+
+Every statistics holder in the simulator — substrate channels, the
+controller, the L2, main memory, predictors — used to be a hand-rolled
+dataclass with its own ``reset``/``merge`` boilerplate and no common
+serialisation, so each new metric meant a multi-file schema migration and
+silently stale JSON caches.  This module provides the one shared
+substrate:
+
+* :class:`MetricGroup` — a flat group of integer **counters** declared by
+  name in ``COUNTERS`` plus read-only **derived** metrics (rates, means)
+  declared with the :class:`derived` decorator.  Counters are plain
+  instance attributes, so hot-path ``stats.read_accesses += 1`` costs
+  exactly what it did with a dataclass.  The base class supplies
+  ``reset()``, ``merge()``, ``sum()``, ``snapshot()`` and
+  ``from_snapshot()`` generically from the declaration.
+
+* :class:`MetricRegistry` — a tree of named groups (``register("dram.ch0",
+  stats)``) with whole-tree ``reset()``, ``merge()`` and ``snapshot()``.
+  The system harness publishes one registry per simulation; the experiment
+  layer serialises its snapshot without knowing any component's fields.
+
+Snapshots are plain ``dict``s with deterministic key order (declaration
+order for counters, then derived metrics), so two identical runs produce
+bit-identical JSON — the property the result cache relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Iterator, Mapping, Union
+
+
+class derived(property):
+    """A read-only metric computed from a group's counters.
+
+    Behaves exactly like ``@property`` but marks the value for inclusion
+    in :meth:`MetricGroup.snapshot`.  Derived metrics are never stored,
+    merged or reset — they are recomputed from counters on demand.
+    """
+
+
+class MetricGroup:
+    """A named, flat group of monotonically increasing integer counters.
+
+    Subclasses declare their schema::
+
+        class ChannelStats(MetricGroup):
+            COUNTERS = ("read_accesses", "write_accesses", "turnarounds")
+
+            @derived
+            def accesses_per_turnaround(self) -> float:
+                ...
+
+    Accumulator-style metrics (e.g. a latency mean) are modelled as a sum
+    counter plus a count counter plus a ``@derived`` mean — this keeps
+    every stored value an exactly-mergeable integer.
+    """
+
+    COUNTERS: ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self, **counts: int):
+        cls = type(self)
+        for name in cls.COUNTERS:
+            setattr(self, name, 0)
+        for name, value in counts.items():
+            if name not in cls.COUNTERS:
+                raise TypeError(
+                    f"{cls.__name__} has no counter {name!r} "
+                    f"(declared: {cls.COUNTERS})")
+            setattr(self, name, value)
+
+    # -- schema introspection -------------------------------------------------
+
+    @classmethod
+    def derived_names(cls) -> tuple[str, ...]:
+        """Derived-metric names in MRO declaration order (cached)."""
+        cached = cls.__dict__.get("_derived_names")
+        if cached is None:
+            seen: dict[str, None] = {}
+            for klass in reversed(cls.__mro__):
+                for name, attr in vars(klass).items():
+                    if isinstance(attr, derived):
+                        seen[name] = None
+            cached = tuple(seen)
+            cls._derived_names = cached
+        return cached
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter (warm-up boundary)."""
+        for name in type(self).COUNTERS:
+            setattr(self, name, 0)
+
+    def merge(self, other: "MetricGroup") -> "MetricGroup":
+        """Return a new group with counters summed; inputs untouched."""
+        cls = type(self)
+        if type(other) is not cls:
+            raise TypeError(f"cannot merge {cls.__name__} "
+                            f"with {type(other).__name__}")
+        return cls(**{n: getattr(self, n) + getattr(other, n)
+                      for n in cls.COUNTERS})
+
+    @classmethod
+    def sum(cls, groups) -> "MetricGroup":
+        """Aggregate many groups (e.g. per-channel -> device totals)."""
+        out = cls()
+        for g in groups:
+            out = out.merge(g)
+        return out
+
+    # -- serialisation --------------------------------------------------------
+
+    def snapshot(self, include_derived: bool = True) -> dict[str, Any]:
+        """Counters (and optionally derived metrics) as a plain dict."""
+        cls = type(self)
+        out: dict[str, Any] = {n: getattr(self, n) for n in cls.COUNTERS}
+        if include_derived:
+            for n in cls.derived_names():
+                out[n] = getattr(self, n)
+        return out
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "MetricGroup":
+        """Rebuild a group from :meth:`snapshot` output.
+
+        Derived keys are ignored (recomputed); unknown keys raise, so a
+        snapshot written by a different schema version fails loudly.
+        """
+        derived_keys = set(cls.derived_names())
+        counts = {k: v for k, v in data.items() if k not in derived_keys}
+        return cls(**counts)
+
+    # -- conveniences ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(getattr(self, n) == getattr(other, n)
+                   for n in type(self).COUNTERS)
+
+    def __repr__(self) -> str:
+        nonzero = ", ".join(f"{n}={getattr(self, n)}"
+                            for n in type(self).COUNTERS if getattr(self, n))
+        return f"{type(self).__name__}({nonzero})"
+
+
+MetricNode = Union[MetricGroup, "MetricRegistry"]
+
+
+class MetricRegistry:
+    """A tree of named :class:`MetricGroup`\\ s (and sub-registries).
+
+    Names are dotted paths; intermediate registries are created on
+    demand::
+
+        reg = MetricRegistry()
+        reg.register("controller", controller_stats)
+        reg.register("dram.ch0", channel0_stats)
+        reg.snapshot()   # {"controller": {...}, "dram": {"ch0": {...}}}
+
+    Registration stores the *live* group object, so components keep
+    bumping their own counters and the registry sees every update.
+    """
+
+    def __init__(self) -> None:
+        self._children: dict[str, MetricNode] = {}
+
+    def register(self, name: str, node: MetricNode) -> MetricNode:
+        """Attach ``node`` (group or sub-registry) at dotted path ``name``."""
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        head, _, rest = name.partition(".")
+        if rest:
+            child = self._children.get(head)
+            if child is None:
+                child = self._children[head] = MetricRegistry()
+            elif not isinstance(child, MetricRegistry):
+                raise ValueError(f"{head!r} is a leaf group, cannot nest "
+                                 f"{rest!r} under it")
+            return child.register(rest, node)
+        if head in self._children:
+            raise ValueError(f"metric group {head!r} already registered")
+        self._children[head] = node
+        return node
+
+    def group(self, name: str) -> MetricNode:
+        """Look up a group / sub-registry by dotted path."""
+        head, _, rest = name.partition(".")
+        child = self._children[head]
+        if rest:
+            if not isinstance(child, MetricRegistry):
+                raise KeyError(name)
+            return child.group(rest)
+        return child
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.group(name)
+            return True
+        except KeyError:
+            return False
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, MetricGroup]]:
+        """Yield ``(dotted_path, group)`` for every leaf, in tree order."""
+        for name, child in self._children.items():
+            path = f"{prefix}.{name}" if prefix else name
+            if isinstance(child, MetricRegistry):
+                yield from child.walk(path)
+            else:
+                yield path, child
+
+    def reset(self) -> None:
+        """Zero every counter in the tree."""
+        for child in self._children.values():
+            child.reset()
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Structural merge: both trees must have identical shapes."""
+        if set(self._children) != set(other._children):
+            raise ValueError(
+                f"registry shapes differ: {sorted(self._children)} "
+                f"vs {sorted(other._children)}")
+        out = MetricRegistry()
+        for name, child in self._children.items():
+            out._children[name] = child.merge(other._children[name])
+        return out
+
+    def snapshot(self, include_derived: bool = True) -> dict[str, Any]:
+        """The whole tree as nested plain dicts (deterministic order)."""
+        return {name: child.snapshot(include_derived)
+                for name, child in self._children.items()}

@@ -10,6 +10,14 @@ memory system is naturally callback-shaped (an access completes -> the
 request state machine advances -> maybe new accesses enqueue -> maybe the
 scheduler issues), and plain callbacks are both the fastest and the
 simplest representation in CPython.
+
+Cancellation is O(1): a cancelled event stays in the heap (removing an
+arbitrary heap element is O(n)) but is counted, and once cancelled events
+exceed half the heap the whole heap is compacted in one O(n) pass — so
+cancelled events can never accumulate unboundedly, and ``pending()`` is a
+counter read instead of a heap scan.  Compaction preserves pop order
+exactly: event ordering is the total order ``(time, seq)``, which
+re-heapifying cannot change.
 """
 
 from __future__ import annotations
@@ -17,18 +25,23 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+#: Compact only beyond this heap size (tiny heaps aren't worth the pass).
+_COMPACT_MIN = 64
+
 
 class Event:
     """A cancellable scheduled callback."""
 
-    __slots__ = ("time", "seq", "fn", "arg", "cancelled")
+    __slots__ = ("time", "seq", "fn", "arg", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable, arg: Any):
+    def __init__(self, time: int, seq: int, fn: Callable, arg: Any,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.arg = arg
         self.cancelled = False
+        self._sim = sim
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -36,8 +49,22 @@ class Event:
         return self.seq < other.seq
 
     def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when popped."""
+        """Mark the event dead; it will be skipped when popped.
+
+        Safe to call repeatedly and after the event has already run
+        (a no-op then — ``_sim`` is cleared once the event leaves the
+        heap, so the live/cancelled bookkeeping can't be corrupted).
+        """
+        if self.cancelled:
+            return
+        sim = self._sim
+        if sim is None:
+            return
         self.cancelled = True
+        self._sim = None
+        sim._live -= 1
+        sim._cancelled += 1
+        sim._maybe_compact()
 
 
 class Simulator:
@@ -50,21 +77,24 @@ class Simulator:
         non-decreasing across callback invocations.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_run")
+    __slots__ = ("now", "_heap", "_seq", "_events_run", "_live", "_cancelled")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[Event] = []
         self._seq: int = 0
         self._events_run: int = 0
+        self._live: int = 0        # scheduled and not yet run/cancelled
+        self._cancelled: int = 0   # cancelled but still sitting in the heap
 
     def at(self, time: int, fn: Callable, arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        ev = Event(time, self._seq, fn, arg)
+        ev = Event(time, self._seq, fn, arg, self)
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def after(self, delay: int, fn: Callable, arg: Any = None) -> Event:
@@ -74,8 +104,21 @@ class Simulator:
         return self.at(self.now + delay, fn, arg)
 
     def pending(self) -> int:
-        """Number of live events in the queue (cancelled ones may linger)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live events in the queue (O(1))."""
+        return self._live
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled events once they dominate the heap (O(n), rare)."""
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN and self._cancelled * 2 > len(heap):
+            # In place: run()/drain() hold a local alias to this list.
+            heap[:] = [e for e in heap if not e.cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
+
+    def _discard_cancelled(self) -> None:
+        """Bookkeeping for a cancelled event leaving the heap."""
+        self._cancelled -= 1
 
     @property
     def events_run(self) -> int:
@@ -104,11 +147,14 @@ class Simulator:
             ev = heap[0]
             if ev.cancelled:
                 heapq.heappop(heap)
+                self._discard_cancelled()
                 continue
             if until is not None and ev.time > until:
                 self.now = until
                 return self.now
             heapq.heappop(heap)
+            ev._sim = None       # out of the heap: late cancel() is a no-op
+            self._live -= 1
             self.now = ev.time
             self._events_run += 1
             ev.fn(ev.arg)
@@ -131,7 +177,10 @@ class Simulator:
         while heap:
             ev = heapq.heappop(heap)
             if ev.cancelled:
+                self._discard_cancelled()
                 continue
+            ev._sim = None       # out of the heap: late cancel() is a no-op
+            self._live -= 1
             self.now = ev.time
             self._events_run += 1
             ev.fn(ev.arg)

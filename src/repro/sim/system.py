@@ -22,8 +22,9 @@ its own finish, matching the paper's fast-forward-then-measure flow.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Sequence
+from typing import Any, ClassVar, Iterator, Mapping, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core import make_controller
@@ -36,10 +37,29 @@ from repro.sim.engine import Simulator
 from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.generator import make_trace
 
+#: Version of the :class:`SystemResult` on-disk schema.  Bump whenever the
+#: result fields, the metrics hierarchy, or the semantics of any reported
+#: value change — the experiment cache keys on it, so entries written by
+#: older code are invalidated instead of silently reused (see DESIGN.md).
+RESULT_SCHEMA_VERSION = 2
+
+
+class ResultSchemaError(ValueError):
+    """A serialised result does not match the current schema version."""
+
 
 @dataclass
 class SystemResult:
-    """Everything the experiment harness needs, as plain picklable data."""
+    """Everything the experiment harness needs, as plain picklable data.
+
+    This is a thin typed facade over the system's metrics registry: the
+    named fields are the headline values every figure reads, and
+    :attr:`metrics` carries the full hierarchical snapshot (all counters
+    of every component) for anything else, so adding a metric no longer
+    requires a field here.
+    """
+
+    SCHEMA_VERSION: ClassVar[int] = RESULT_SCHEMA_VERSION
 
     design: str
     organization: str
@@ -67,6 +87,35 @@ class SystemResult:
     mainmem_writes: int
     lee_eager_writebacks: int = 0
     meta: dict = field(default_factory=dict)
+    #: full registry snapshot: {component: {counter/derived: value}}
+    metrics: dict = field(default_factory=dict)
+    schema_version: int = RESULT_SCHEMA_VERSION
+
+    def to_cache_dict(self) -> dict[str, Any]:
+        """Plain-JSON form for the result store."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_cache_dict(cls, data: Mapping[str, Any]) -> "SystemResult":
+        """Rebuild from :meth:`to_cache_dict` output, validating the schema.
+
+        Raises :class:`ResultSchemaError` when the entry was written by a
+        different schema version or its field set doesn't match the current
+        dataclass — both mean the entry is stale, never "close enough".
+        """
+        if not isinstance(data, Mapping):
+            raise ResultSchemaError(f"expected a mapping, got {type(data)}")
+        version = data.get("schema_version")
+        if version != cls.SCHEMA_VERSION:
+            raise ResultSchemaError(
+                f"schema version {version!r} != current {cls.SCHEMA_VERSION}")
+        expected = {f.name for f in dataclasses.fields(cls)}
+        got = set(data)
+        if got != expected:
+            raise ResultSchemaError(
+                f"field set mismatch: missing {sorted(expected - got)}, "
+                f"unknown {sorted(got - expected)}")
+        return cls(**data)
 
 
 class System:
@@ -119,6 +168,19 @@ class System:
         self._pending_entry = None
         self._warmed = 0
         self._finished = 0
+
+        # Unified metrics tree over every live counter group in the
+        # machine; SystemResult.metrics is exactly its snapshot.  The
+        # controller's registry (already holding ``controller`` +
+        # ``substrate``) is extended in place, so there is one tree —
+        # a group registered at either level shows up everywhere.
+        self.metrics = self.controller.metrics
+        self.metrics.register("l2", self.l2.stats)
+        self.metrics.register("mainmem", self.controller.mainmem.stats)
+        if self.controller.mapi is not None:
+            self.metrics.register("mapi", self.controller.mapi.stats)
+        if self.lee is not None:
+            self.metrics.register("lee", self.lee.stats)
 
     # ------------------------------------------------------------- memory path
 
@@ -251,10 +313,12 @@ class System:
         return self._result()
 
     def _result(self) -> SystemResult:
-        cs = self.controller.stats
-        ds = self.controller.device.total_stats()
-        hits, misses = cs.read_hits, cs.read_misses
-        mm = self.controller.mainmem.stats
+        snap = self.metrics.snapshot()
+        cs = snap["controller"]
+        mm = snap["mainmem"]
+        # Substrate totals: merge the per-channel groups, then derive.
+        ds = self.controller.device.total_stats().snapshot()
+        snap["substrate_total"] = ds
         return SystemResult(
             design=self.design,
             organization=self.organization,
@@ -262,21 +326,22 @@ class System:
             benchmarks=[b.name for b in self.benchmarks],
             ipcs=[c.measured_ipc() for c in self.cores],
             elapsed_ps=self.sim.now,
-            mean_read_latency_ps=cs.mean_read_latency_ps,
-            dram_read_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
-            reads_done=cs.reads_done,
-            writebacks=cs.writebacks_submitted,
-            refills=cs.refills_submitted,
-            read_priority_inversions=cs.read_priority_inversions,
-            lr_ofs_issues=cs.lr_ofs_issues,
-            lr_drain_issues=cs.lr_drain_issues,
-            accesses_per_turnaround=ds.accesses_per_turnaround,
-            read_row_hit_rate=ds.read_row_hit_rate,
-            turnarounds=ds.turnarounds,
-            dram_accesses=ds.total_accesses,
-            l2_hit_rate=self.l2.stats.hit_rate,
-            mainmem_reads=mm.reads,
-            mainmem_writes=mm.writes,
-            lee_eager_writebacks=(self.lee.stats.eager_writebacks
-                                  if self.lee else 0),
+            mean_read_latency_ps=cs["mean_read_latency_ps"],
+            dram_read_hit_rate=cs["dram_read_hit_rate"],
+            reads_done=cs["reads_done"],
+            writebacks=cs["writebacks_submitted"],
+            refills=cs["refills_submitted"],
+            read_priority_inversions=cs["read_priority_inversions"],
+            lr_ofs_issues=cs["lr_ofs_issues"],
+            lr_drain_issues=cs["lr_drain_issues"],
+            accesses_per_turnaround=ds["accesses_per_turnaround"],
+            read_row_hit_rate=ds["read_row_hit_rate"],
+            turnarounds=ds["turnarounds"],
+            dram_accesses=ds["total_accesses"],
+            l2_hit_rate=snap["l2"]["hit_rate"],
+            mainmem_reads=mm["reads"],
+            mainmem_writes=mm["writes"],
+            lee_eager_writebacks=(snap["lee"]["eager_writebacks"]
+                                  if "lee" in snap else 0),
+            metrics=snap,
         )

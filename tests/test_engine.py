@@ -65,6 +65,73 @@ class TestCancellation:
         ev.cancel()
         assert sim.pending() == 1
 
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        ev = sim.at(100, lambda _: None)
+        sim.at(200, lambda _: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_run_is_a_noop(self):
+        sim = Simulator()
+        ev = sim.at(100, lambda _: None)
+        sim.run()
+        ev.cancel()                     # event already executed
+        assert sim.pending() == 0       # counters unharmed
+        assert sim._cancelled == 0
+        sim.at(200, lambda _: None)
+        assert sim.pending() == 1
+
+    def test_pending_is_a_counter_not_a_scan(self):
+        sim = Simulator()
+        events = [sim.at(t, lambda _: None) for t in range(1, 50)]
+        events[0].cancel()
+        assert sim.pending() == 48
+        assert sim._live == 48
+
+    def test_heap_compacts_when_mostly_cancelled(self):
+        sim = Simulator()
+        events = [sim.at(t, lambda _: None) for t in range(1, 201)]
+        for ev in events[:150]:
+            ev.cancel()
+        # Compaction bounds the dead fraction: once cancelled events
+        # exceed half the heap they are dropped, so the heap can never
+        # hold more than ~2x the live events.
+        assert len(sim._heap) <= 2 * sim.pending()
+        assert sim.pending() == 50
+
+    def test_compaction_preserves_order_and_results(self):
+        sim = Simulator()
+        log = []
+        events = [sim.at(t, log.append, t) for t in range(1, 201)]
+        for ev in events[::2]:   # cancel every even-index event
+            ev.cancel()
+        for ev in events[1::4]:  # and some more, crossing the 50% line
+            ev.cancel()
+        sim.run()
+        survivors = [t for t in range(1, 201)
+                     if (t - 1) % 2 and (t - 2) % 4]
+        assert log == survivors
+
+    def test_cancel_during_run_is_safe(self):
+        """A callback cancelling enough events to trigger compaction must
+        not desynchronise the loop's local heap alias."""
+        sim = Simulator()
+        log = []
+        later = [sim.at(1000 + t, log.append, t) for t in range(100)]
+
+        def axe(_):
+            for ev in later[:80]:
+                ev.cancel()
+
+        sim.at(1, axe)
+        sim.at(2, log.append, "early")
+        sim.run()
+        assert log == ["early"] + list(range(80, 100))
+        assert sim.pending() == 0
+        assert not sim._heap
+
 
 class TestRunControl:
     def test_until_stops_clock(self):

@@ -1,4 +1,4 @@
-"""Experiment harness: specs, caching, speedup tables, CLI plumbing."""
+"""Experiment harness: specs, result store, speedup tables, CLI plumbing."""
 
 import json
 
@@ -6,6 +6,8 @@ import pytest
 
 from repro.experiments import common
 from repro.experiments.common import (
+    GridExecutionError,
+    ResultStore,
     RunSpec,
     SimParams,
     alone_ipc_table,
@@ -18,7 +20,7 @@ from repro.experiments.common import (
 )
 from repro.experiments import table1_workloads, table2_params
 from repro.experiments.runner import MODULES, build_parser
-from repro.sim.system import SystemResult
+from repro.sim.system import RESULT_SCHEMA_VERSION, ResultSchemaError, SystemResult
 
 QUICK = SimParams(warmup_insts=2_000, measure_insts=5_000,
                   replay_accesses=1_000)
@@ -87,6 +89,131 @@ class TestCaching:
         k2 = common._spec_key(RunSpec("DCA", mix_id=1), QUICK)
         k3 = common._spec_key(RunSpec("CD", mix_id=1), SimParams())
         assert len({k1, k2, k3}) == 3
+
+    def test_explicit_cache_dir_parameter(self, tmp_path):
+        spec = RunSpec("CD", alone_benchmark="gcc")
+        run_grid([spec], QUICK, jobs=1, cache_dir=tmp_path / "c")
+        assert list((tmp_path / "c").glob("*.json"))
+
+    def test_use_cache_false_reads_and_writes_nothing(self, tmp_path):
+        spec = RunSpec("CD", alone_benchmark="gcc")
+        out = run_grid([spec], QUICK, jobs=1, use_cache=False,
+                       cache_dir=tmp_path / "c")
+        assert out[spec].ipcs[0] > 0
+        assert not (tmp_path / "c").exists()
+
+
+class TestResultStore:
+    SPEC = RunSpec("CD", alone_benchmark="gcc")
+
+    def store_with_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_one(self.SPEC, QUICK)
+        store.store(self.SPEC, QUICK, result)
+        return store, result
+
+    def test_round_trip(self, tmp_path):
+        store, result = self.store_with_entry(tmp_path)
+        loaded = store.load(self.SPEC, QUICK)
+        assert loaded is not None
+        assert loaded.ipcs == result.ipcs
+        assert loaded.metrics == result.metrics
+
+    def test_key_includes_schema_version(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        k_now = store.key(self.SPEC, QUICK)
+        monkeypatch.setattr(common, "RESULT_SCHEMA_VERSION",
+                            RESULT_SCHEMA_VERSION + 1)
+        assert store.key(self.SPEC, QUICK) != k_now
+
+    def test_pre_refactor_entry_rejected(self, tmp_path):
+        """An entry without schema_version (old code) is a miss even if it
+        lands on the current key (defence in depth below the key change)."""
+        store, result = self.store_with_entry(tmp_path)
+        path = store.path(self.SPEC, QUICK)
+        old = json.loads(path.read_text())
+        del old["schema_version"]
+        del old["metrics"]
+        path.write_text(json.dumps(old))
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        store, _ = self.store_with_entry(tmp_path)
+        path = store.path(self.SPEC, QUICK)
+        data = json.loads(path.read_text())
+        data["schema_version"] = RESULT_SCHEMA_VERSION + 999
+        path.write_text(json.dumps(data))
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_unknown_extra_field_rejected(self, tmp_path):
+        store, _ = self.store_with_entry(tmp_path)
+        path = store.path(self.SPEC, QUICK)
+        data = json.loads(path.read_text())
+        data["field_from_the_future"] = 1
+        path.write_text(json.dumps(data))
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = ResultStore(tmp_path / "c", enabled=False)
+        store.store(self.SPEC, QUICK, run_one(self.SPEC, QUICK))
+        assert not (tmp_path / "c").exists()
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_from_cache_dict_validates(self):
+        with pytest.raises(ResultSchemaError):
+            SystemResult.from_cache_dict({"schema_version": -1})
+        with pytest.raises(ResultSchemaError):
+            SystemResult.from_cache_dict([1, 2, 3])
+
+
+class TestResultRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        result = run_one(RunSpec("DCA", mix_id=1), QUICK)
+        wire = json.loads(json.dumps(result.to_cache_dict()))
+        restored = SystemResult.from_cache_dict(wire)
+        assert restored == result
+
+    def test_metrics_snapshot_deterministic(self):
+        """Two identical RunSpec runs produce bit-identical snapshots."""
+        spec = RunSpec("DCA", mix_id=2)
+        s1 = json.dumps(run_one(spec, QUICK).metrics, sort_keys=False)
+        s2 = json.dumps(run_one(spec, QUICK).metrics, sort_keys=False)
+        assert s1 == s2
+
+    def test_metrics_snapshot_covers_layers(self):
+        result = run_one(RunSpec("CD", mix_id=1), QUICK)
+        assert {"controller", "substrate", "substrate_total", "l2",
+                "mainmem"} <= set(result.metrics)
+        assert result.metrics["controller"]["reads_done"] == result.reads_done
+
+
+class TestFailureIsolation:
+    GOOD = RunSpec("CD", alone_benchmark="gcc")
+    BAD = RunSpec("BOGUS", alone_benchmark="gcc")
+
+    def test_one_crash_does_not_kill_the_grid(self, tmp_path):
+        with pytest.raises(GridExecutionError) as exc_info:
+            run_grid([self.BAD, self.GOOD], QUICK, jobs=1,
+                     cache_dir=tmp_path)
+        err = exc_info.value
+        assert list(err.failures) == [self.BAD]
+        assert "unknown design" in err.failures[self.BAD]
+        # The good point completed, was returned, and was cached.
+        assert err.results[self.GOOD].ipcs[0] > 0
+        assert ResultStore(tmp_path).load(self.GOOD, QUICK) is not None
+
+    def test_parallel_crash_isolated_too(self, tmp_path):
+        with pytest.raises(GridExecutionError) as exc_info:
+            run_grid([self.GOOD, self.BAD], QUICK, jobs=2,
+                     cache_dir=tmp_path)
+        assert list(exc_info.value.failures) == [self.BAD]
+        assert self.GOOD in exc_info.value.results
+
+    def test_results_keyed_in_input_order(self, tmp_path):
+        specs = [RunSpec("CD", alone_benchmark=b)
+                 for b in ("mcf", "gcc", "astar")]
+        out = run_grid(specs, QUICK, jobs=3, cache_dir=tmp_path)
+        assert list(out) == specs
 
 
 class TestSpeedupPlumbing:
