@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run the perf harness (decision-loop + end-to-end) and emit BENCH JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick --label ci
+
+Falls back to locating ``src/`` relative to this file when PYTHONPATH is
+not set, so it also runs as a plain script from the repo root.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.harness import main
+except ImportError:  # no PYTHONPATH: resolve src/ from the repo layout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+    from repro.bench.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Performance benchmark harness (see benchmarks/perf/).
+
+``repro.bench`` measures the two things every PR must not regress:
+
+* **decision-loop throughput** — scheduler picks + queue maintenance per
+  second, measured for the naive full-scan selectors *and* the indexed
+  fast path on identical states (``decision_loop``);
+* **end-to-end wall clock** — a small fig08-style simulation grid run
+  through the real experiment machinery (``harness``).
+
+Results are emitted as ``BENCH_<label>.json`` through the experiment
+layer's atomic JSON store, forming the repo's perf trajectory.
+"""
+
+from repro.bench.decision_loop import run_decision_loop
+from repro.bench.harness import BENCH_SCHEMA_VERSION, main, run_perf
+
+__all__ = ["run_decision_loop", "run_perf", "main", "BENCH_SCHEMA_VERSION"]

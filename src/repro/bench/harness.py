@@ -1,0 +1,119 @@
+"""Perf harness entry point: microbench + end-to-end, emitted as BENCH JSON.
+
+Every invocation produces one ``BENCH_<label>.json`` containing
+
+* the decision-loop scenario table (naive vs indexed throughput and the
+  speedup ratio, equivalence-verified before timing), and
+* the wall-clock of a small end-to-end simulation grid executed through
+  the real experiment machinery (``run_grid`` + ``ResultStore``), so the
+  number tracks the whole stack, not just the scheduler.
+
+The JSON files form the repo's perf trajectory: each PR commits one
+(e.g. ``BENCH_pr2.json``) and CI uploads a fresh one per run, so a
+regression shows up as a ratio between two adjacent labels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    DESIGNS,
+    ResultStore,
+    RunSpec,
+    SimParams,
+    atomic_write_json,
+    run_grid,
+)
+from repro.bench.decision_loop import run_decision_loop
+
+#: Version of the BENCH_*.json payload; bump on any field/semantics change.
+BENCH_SCHEMA_VERSION = 1
+
+
+def run_end_to_end(quick: bool = False, jobs: int = 1) -> dict:
+    """Time a small fig08-style grid (uncached) through run_grid."""
+    mixes = [1] if quick else [1, 2]
+    specs = [RunSpec(d, "sa", mix_id=m) for d in DESIGNS for m in mixes]
+    params = SimParams.quick()
+    store = ResultStore(enabled=False)     # measure real work, store nothing
+    t0 = time.perf_counter()
+    results = run_grid(specs, params, jobs=jobs, use_cache=False, store=store)
+    wall_s = time.perf_counter() - t0
+    reads = sum(r.reads_done for r in results.values())
+    accesses = sum(r.dram_accesses for r in results.values())
+    return {
+        "points": len(specs),
+        "designs": list(DESIGNS),
+        "mixes": mixes,
+        "jobs": jobs,
+        "params": "quick",
+        "wall_s": round(wall_s, 3),
+        "reads_done_total": reads,
+        "dram_accesses_total": accesses,
+        "dram_accesses_per_s": round(accesses / wall_s, 1) if wall_s else 0.0,
+    }
+
+
+def run_perf(quick: bool = False, label: str = "dev",
+             out_dir: Path = Path("."), end_to_end: bool = True,
+             jobs: int = 1, seed: int = 0) -> Path:
+    """Run the full harness and write ``BENCH_<label>.json``; returns path."""
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "perf",
+        "label": label,
+        "quick": quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "decision_loop": run_decision_loop(quick=quick, seed=seed),
+    }
+    if end_to_end:
+        payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
+    return atomic_write_json(Path(out_dir) / f"BENCH_{label}.json", payload)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Scheduler decision-loop + end-to-end perf harness; "
+                    "emits BENCH_<label>.json.")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced iteration counts / grid size (CI smoke)")
+    p.add_argument("--label", default="dev",
+                   help="output label: writes BENCH_<label>.json")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for the BENCH file (default cwd)")
+    p.add_argument("--no-e2e", action="store_true",
+                   help="skip the end-to-end simulation grid")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the end-to-end grid")
+    p.add_argument("--seed", type=int, default=0)
+    args = p.parse_args(argv)
+    path = run_perf(quick=args.quick, label=args.label,
+                    out_dir=Path(args.out_dir), end_to_end=not args.no_e2e,
+                    jobs=args.jobs, seed=args.seed)
+    import json
+    data = json.loads(path.read_text())
+    dl = data["decision_loop"]
+    print(f"wrote {path}")
+    for s in dl["scenarios"]:
+        print(f"  {s['name']:<24} naive {s['naive_per_s']:>10.0f}/s   "
+              f"indexed {s['indexed_per_s']:>10.0f}/s   x{s['speedup']:.2f}")
+    print(f"  geomean speedup: x{dl['geomean_speedup']:.2f} "
+          f"(min x{dl['min_speedup']:.2f})")
+    if "end_to_end" in data:
+        e = data["end_to_end"]
+        print(f"  end-to-end: {e['points']} points in {e['wall_s']:.1f}s "
+              f"({e['dram_accesses_per_s']:.0f} DRAM accesses/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

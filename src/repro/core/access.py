@@ -93,7 +93,7 @@ class Access:
 
     __slots__ = ("role", "request", "channel", "rank", "bank", "row", "col",
                  "global_bank", "arrival", "seq", "priority", "on_complete",
-                 "critical")
+                 "critical", "core_id")
 
     _seq = 0
 
@@ -113,6 +113,9 @@ class Access:
         self.arrival = arrival
         Access._seq += 1
         self.seq = Access._seq            # global age tiebreak for schedulers
+        # Flattened from the owning request: the scheduler inner loop reads
+        # this per candidate, and a slot is much cheaper than a property.
+        self.core_id = request.core_id
         self.on_complete = on_complete
         #: completion of this access gates the request's completion
         self.critical = critical
@@ -132,10 +135,6 @@ class Access:
     @property
     def is_bus_read(self) -> bool:
         return not self.is_write
-
-    @property
-    def core_id(self) -> int:
-        return self.request.core_id
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Access({self.role.name}, {self.priority.name}, "

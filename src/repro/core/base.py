@@ -227,7 +227,7 @@ class BaseController:
             # Observable read-priority-inversion accounting: an LR-class
             # bus read issued while a PR-class read waits on this channel.
             if (access.priority == Priority.LR
-                    and any(a.priority == Priority.PR for a in self.read_q[ch])):
+                    and self.read_q[ch].pr_count):
                 self.stats.read_priority_inversions += 1
 
             _start, end = channel.issue(access.rank, access.bank, access.row,
@@ -312,12 +312,16 @@ class BaseController:
 
     def _pick_write(self, ch: int) -> Optional[tuple[Access, AccessQueue]]:
         wq = self.write_q[ch]
-        a = self.sched[ch].pick(wq.entries, self.device.channels[ch], self.sim.now)
+        a = self.sched[ch].pick_banked(wq.bank_buckets(),
+                                       self.device.channels[ch], self.sim.now)
         return (a, wq) if a is not None else None
 
-    def _pick_read(self, ch: int, candidates) -> Optional[tuple[Access, AccessQueue]]:
+    def _pick_read(self, ch: int, buckets) -> Optional[tuple[Access, AccessQueue]]:
+        """Select from the read queue; ``buckets`` maps ``global_bank`` to
+        non-empty same-bank candidate groups (see ``pick_banked``)."""
         rq = self.read_q[ch]
-        a = self.sched[ch].pick(candidates, self.device.channels[ch], self.sim.now)
+        a = self.sched[ch].pick_banked(buckets, self.device.channels[ch],
+                                       self.sim.now)
         return (a, rq) if a is not None else None
 
     # -- design hooks ---------------------------------------------------------------
@@ -458,11 +462,18 @@ class BaseController:
 
         Deliberately narrower than ``self.metrics.reset()``: the system
         harness mounts further groups into this registry, some of which
-        (MAP-I, Lee) accumulate across the warm-up boundary.
+        (MAP-I, Lee) accumulate across the warm-up boundary.  Queue
+        occupancy integrals restart here too, so ``mean_occupancy``
+        covers the measured interval only.
         """
         self.stats.reset()
         self.device.metrics.reset()
         self.array.reset_counters()
+        now = self.sim.now
+        for q in self.read_q:
+            q.reset_accounting(now)
+        for q in self.write_q:
+            q.reset_accounting(now)
 
     def queues_empty(self) -> bool:
         return (all(not q.entries for q in self.read_q)

@@ -19,12 +19,15 @@ candidate set they hand to BLISS at each slot, not in the ordering policy.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from repro.config import BLISSConfig
 from repro.core.access import Access
 from repro.dram.bank import ROW_HIT
 from repro.dram.channel import Channel
+
+#: Sentinel above any real ``Access.seq`` (a monotonic counter).
+_SEQ_MAX = 1 << 62
 
 
 class BLISSScheduler:
@@ -72,6 +75,13 @@ class BLISSScheduler:
 
         Priority: non-blacklisted > row-hit > age (global seq).  Returns
         None when the candidate set is empty.
+
+        This is the naive reference selector: it classifies the row state
+        of every candidate individually.  The scheduling hot path uses
+        :meth:`pick_banked` over the queue's per-bank buckets instead;
+        both must return the identical access for the same candidate set
+        (``seq`` is globally unique, so the argmin is unique — verified by
+        the side-by-side property tests).
         """
         self.maybe_clear(now)
         best: Optional[Access] = None
@@ -84,3 +94,49 @@ class BLISSScheduler:
             if best_key is None or key < best_key:
                 best, best_key = a, key
         return best
+
+    def pick_banked(self, buckets: "Mapping[int, Iterable[Access]]",
+                    channel: Channel, now: int) -> Optional[Access]:
+        """Fast-path selection over bank-bucketed candidates.
+
+        ``buckets`` maps ``global_bank`` to a non-empty group of accesses
+        targeting that bank (the queue's incremental indexes, or any
+        filtered subset keyed the same way).  The open row is fetched once
+        per bank — ``global_bank % len(banks)`` is the channel-local bank
+        index by construction of ``AddressMapper.global_bank`` — and the
+        (blacklist, row-miss, seq) lexicographic order is evaluated as
+        the oldest candidate per (blacklisted, row-miss) class, returned
+        in class order.  Bit-identical to :meth:`pick` on the flattened
+        candidate set: ``seq`` is globally unique, so the argmin is
+        unique and iteration order is irrelevant.
+        """
+        self.maybe_clear(now)
+        bl = self.blacklist
+        banks = channel.banks
+        nbanks = len(banks)
+        # Oldest candidate per (blacklisted, row-miss) class; returning the
+        # first non-empty class in 00 < 01 < 10 < 11 order is exactly the
+        # (blacklist, row-miss, seq) lexicographic minimum, with no tuple
+        # or big-int key allocation in the inner loop.
+        b_hit = b_miss = b_bl_hit = b_bl_miss = None
+        s_hit = s_miss = s_bl_hit = s_bl_miss = _SEQ_MAX
+        for gb, bucket in buckets.items():
+            open_row = banks[gb % nbanks].open_row
+            for a in bucket:
+                s = a.seq
+                if bl[a.core_id]:
+                    if a.row == open_row:
+                        if s < s_bl_hit:
+                            s_bl_hit, b_bl_hit = s, a
+                    elif s < s_bl_miss:
+                        s_bl_miss, b_bl_miss = s, a
+                elif a.row == open_row:
+                    if s < s_hit:
+                        s_hit, b_hit = s, a
+                elif s < s_miss:
+                    s_miss, b_miss = s, a
+        if b_hit is not None:
+            return b_hit
+        if b_miss is not None:
+            return b_miss
+        return b_bl_hit if b_bl_hit is not None else b_bl_miss

@@ -28,11 +28,58 @@ from __future__ import annotations
 
 from typing import Optional
 
+from typing import Iterable, Mapping
+
 from repro.core.access import Access, Priority
 from repro.core.base import BaseController
 from repro.core.queues import AccessQueue
 from repro.core.rrpc import RRPCTable
 from repro.dram.bank import ROW_CONFLICT
+
+
+def ofs_naive_candidates(entries: Iterable[Access], channel, rrpc: RRPCTable,
+                         flushing_factor: int) -> list[Access]:
+    """LRs passing the OFS criteria (§IV-C) — naive full-scan reference.
+
+    The executable specification :func:`ofs_bucket_filter` is tested
+    against; classifies every access's row state individually.  Shared
+    by the controller (reference path) and the perf benchmark's naive
+    engine.
+    """
+    out = []
+    for a in entries:
+        if a.priority != Priority.LR:
+            continue
+        bank = channel.banks[channel.bank_index(a.rank, a.bank)]
+        if bank.row_state(a.row) != ROW_CONFLICT:
+            out.append(a)          # row hit or closed row: safe
+        elif rrpc.allows_flush(a.global_bank, flushing_factor):
+            out.append(a)          # conflicting, but the bank is cold
+    return out
+
+
+def ofs_bucket_filter(lr_buckets: Mapping[int, Iterable[Access]],
+                      banks: list, rrpc: RRPCTable,
+                      flushing_factor: int) -> dict[int, list[Access]]:
+    """Apply the OFS criteria (§IV-C) per *bank* over LR bank buckets.
+
+    A closed row (``open_row is None``) or a decayed RRPC counter admits
+    a bank's whole bucket; otherwise only its row hits are safe.  The
+    bucket's channel-local bank is ``global_bank % len(banks)`` (see
+    ``AddressMapper.global_bank``).  Shared by the controller hot path
+    and the perf benchmark so the two can't drift apart.
+    """
+    nbanks = len(banks)
+    out: dict[int, list[Access]] = {}
+    for gb, bucket in lr_buckets.items():
+        open_row = banks[gb % nbanks].open_row
+        if open_row is None or rrpc.allows_flush(gb, flushing_factor):
+            out[gb] = list(bucket)
+        else:
+            safe = [a for a in bucket if a.row == open_row]
+            if safe:
+                out[gb] = safe
+    return out
 
 
 class DCAController(BaseController):
@@ -67,19 +114,24 @@ class DCAController(BaseController):
             self.schedule_all[ch] = False
 
     def _ofs_candidates(self, ch: int) -> list[Access]:
-        """LRs passing the OFS criteria (§IV-C)."""
-        channel = self.device.channels[ch]
-        ff = self.cfg.dca.flushing_factor
-        out = []
-        for a in self.read_q[ch].entries:
-            if a.priority != Priority.LR:
-                continue
-            bank = channel.banks[channel.bank_index(a.rank, a.bank)]
-            if bank.row_state(a.row) != ROW_CONFLICT:
-                out.append(a)          # row hit or closed row: safe
-            elif self.rrpc.allows_flush(a.global_bank, ff):
-                out.append(a)          # conflicting, but the bank is cold
-        return out
+        """LRs passing the OFS criteria (§IV-C) — naive reference.
+
+        Kept as the specification the fast path is tested against
+        (see :meth:`_ofs_buckets`); the hot path never calls this.
+        """
+        return ofs_naive_candidates(self.read_q[ch].entries,
+                                    self.device.channels[ch], self.rrpc,
+                                    self.cfg.dca.flushing_factor)
+
+    def _ofs_buckets(self, ch: int) -> dict[int, list[Access]]:
+        """OFS candidates as per-bank buckets, from the LR index.
+
+        Same candidate set as :meth:`_ofs_candidates`, computed with one
+        row-state and one RRPC check per *bank* instead of per access.
+        """
+        return ofs_bucket_filter(self.read_q[ch].lr_bank_buckets(),
+                                 self.device.channels[ch].banks,
+                                 self.rrpc, self.cfg.dca.flushing_factor)
 
     def _select(self, ch: int) -> Optional[tuple[Access, AccessQueue]]:
         self._flush_exit_check(ch)
@@ -97,17 +149,17 @@ class DCAController(BaseController):
         self._update_schedule_all(ch)
         rq = self.read_q[ch]
         if self.schedule_all[ch]:
-            picked = self._pick_read(ch, rq.entries)
+            picked = self._pick_read(ch, rq.bank_buckets())
             if picked is not None:
                 if picked[0].priority == Priority.LR:
                     self.stats.lr_drain_issues += 1
                 return picked
         else:
-            picked = self._pick_read(ch, rq.priority_reads())
+            picked = self._pick_read(ch, rq.pr_bank_buckets())
             if picked is not None:
                 return picked
             # Algorithm 1 line 15-18: no PR was ready -> OFS flush.
-            picked = self._pick_read(ch, self._ofs_candidates(ch))
+            picked = self._pick_read(ch, self._ofs_buckets(ch))
             if picked is not None:
                 self.stats.lr_ofs_issues += 1
                 return picked
@@ -119,4 +171,4 @@ class DCAController(BaseController):
         are background work like the writes themselves."""
         if self.schedule_all[ch]:
             return bool(self.read_q[ch].entries)
-        return any(a.priority == Priority.PR for a in self.read_q[ch].entries)
+        return self.read_q[ch].pr_count > 0

@@ -8,11 +8,14 @@ that claim and is exercised by the ablation benchmark).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from repro.core.access import Access
 from repro.dram.bank import ROW_HIT
 from repro.dram.channel import Channel
+
+#: Sentinel above any real ``Access.seq`` (see bliss.py).
+_SEQ_MAX = 1 << 62
 
 
 class FRFCFSScheduler:
@@ -31,6 +34,7 @@ class FRFCFSScheduler:
 
     def pick(self, candidates: Iterable[Access], channel: Channel,
              now: int) -> Optional[Access]:
+        """Naive reference selector (per-access row-state classification)."""
         best: Optional[Access] = None
         best_key: tuple[int, int] | None = None
         for a in candidates:
@@ -40,3 +44,27 @@ class FRFCFSScheduler:
             if best_key is None or key < best_key:
                 best, best_key = a, key
         return best
+
+    def pick_banked(self, buckets: Mapping[int, Iterable[Access]],
+                    channel: Channel, now: int) -> Optional[Access]:
+        """Fast-path selection over bank-bucketed candidates (see BLISS).
+
+        ``buckets`` maps ``global_bank`` to same-bank access groups; the
+        oldest row-hit wins, else the oldest access.  Bit-identical to
+        :meth:`pick` on the flattened set: the unique ``seq`` tiebreak
+        makes the argmin independent of iteration order.
+        """
+        banks = channel.banks
+        nbanks = len(banks)
+        b_hit = b_miss = None
+        s_hit = s_miss = _SEQ_MAX
+        for gb, bucket in buckets.items():
+            open_row = banks[gb % nbanks].open_row
+            for a in bucket:
+                s = a.seq
+                if a.row == open_row:
+                    if s < s_hit:
+                        s_hit, b_hit = s, a
+                elif s < s_miss:
+                    s_miss, b_miss = s, a
+        return b_hit if b_hit is not None else b_miss

@@ -1,4 +1,4 @@
-"""Controller access queues with watermark state.
+"""Controller access queues with watermark state and scheduling indexes.
 
 One :class:`AccessQueue` holds the accesses waiting to be scheduled on one
 channel's bus for one direction class (the designs differ in *what* they
@@ -6,11 +6,32 @@ route here — see cd/rod/dca modules).  Capacity applies to *admission of
 new requests*: continuation accesses of an in-flight request (the RD/WT
 that follow a completed tag read) always fit, mirroring how real
 controllers reserve slots for request continuations to avoid deadlock.
+
+Scheduling indexes
+------------------
+Every push/remove incrementally maintains three index structures so the
+per-slot scheduling decision never rescans the whole pool:
+
+* a **position map** (``access -> index`` into ``entries``) making removal
+  O(1) via swap-pop;
+* **per-priority partitions** — insertion-ordered sets of the PR and LR
+  read classes, giving O(1) ``pr_count``/``lr_count`` and O(k) views;
+* **per-bank buckets** (``global_bank -> ordered set``) for all entries
+  and for each read class, so row-hit classification is done once per
+  *bank* instead of once per *access* and DCA's OFS candidate set is a
+  bucket walk instead of a full-queue filter.
+
+Swap-pop perturbs the order of ``entries``, which is safe because every
+selection policy in this codebase totally orders candidates with the
+globally unique ``Access.seq`` as the final tiebreak: the argmin is
+unique, hence independent of iteration order (see DESIGN.md, "Indexed
+scheduling fast path").  The ordered-dict buckets themselves preserve
+insertion order, keeping iteration deterministic.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.access import Access, Priority
 
@@ -18,22 +39,37 @@ from repro.core.access import Access, Priority
 class AccessQueue:
     """A bounded scheduling pool (not FIFO: schedulers pick by policy)."""
 
-    __slots__ = ("capacity", "entries", "_occupancy_integral", "_last_t")
+    __slots__ = ("capacity", "entries", "_pos", "_pr", "_lr",
+                 "_banks", "_pr_banks", "_lr_banks",
+                 "_occupancy_integral", "_last_t", "_t0")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
         self.entries: list[Access] = []
+        #: access -> index into ``entries`` (O(1) membership + removal)
+        self._pos: Dict[Access, int] = {}
+        # Insertion-ordered sets (dicts with None values): per-priority
+        # partitions of the read classes, and per-bank buckets.
+        self._pr: Dict[Access, None] = {}
+        self._lr: Dict[Access, None] = {}
+        self._banks: Dict[int, Dict[Access, None]] = {}
+        self._pr_banks: Dict[int, Dict[Access, None]] = {}
+        self._lr_banks: Dict[int, Dict[Access, None]] = {}
         # time-weighted occupancy, for average-occupancy reporting
         self._occupancy_integral = 0
         self._last_t = 0
+        self._t0 = 0
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def __iter__(self):
         return iter(self.entries)
+
+    def __contains__(self, access: Access) -> bool:
+        return access in self._pos
 
     @property
     def occupancy(self) -> float:
@@ -47,29 +83,117 @@ class AccessQueue:
     def push(self, access: Access, now: int = 0) -> None:
         """Add an access (continuations may exceed nominal capacity)."""
         self._account(now)
-        self.entries.append(access)
+        entries = self.entries
+        self._pos[access] = len(entries)
+        entries.append(access)
+        gb = access.global_bank
+        bucket = self._banks.get(gb)
+        if bucket is None:
+            bucket = self._banks[gb] = {}
+        bucket[access] = None
+        prio = access.priority
+        if prio == Priority.PR:
+            self._pr[access] = None
+            pb = self._pr_banks.get(gb)
+            if pb is None:
+                pb = self._pr_banks[gb] = {}
+            pb[access] = None
+        elif prio == Priority.LR:
+            self._lr[access] = None
+            lb = self._lr_banks.get(gb)
+            if lb is None:
+                lb = self._lr_banks[gb] = {}
+            lb[access] = None
 
     def remove(self, access: Access, now: int = 0) -> None:
         self._account(now)
-        self.entries.remove(access)
+        try:
+            idx = self._pos.pop(access)
+        except KeyError:
+            raise ValueError("access not in queue") from None
+        entries = self.entries
+        last = entries.pop()
+        if last is not access:        # swap-pop: O(1), order-insensitive
+            entries[idx] = last
+            self._pos[last] = idx
+        gb = access.global_bank
+        bucket = self._banks[gb]
+        del bucket[access]
+        if not bucket:
+            del self._banks[gb]
+        prio = access.priority
+        if prio == Priority.PR:
+            del self._pr[access]
+            pb = self._pr_banks[gb]
+            del pb[access]
+            if not pb:
+                del self._pr_banks[gb]
+        elif prio == Priority.LR:
+            del self._lr[access]
+            lb = self._lr_banks[gb]
+            del lb[access]
+            if not lb:
+                del self._lr_banks[gb]
+
+    # -- occupancy accounting ---------------------------------------------------
 
     def _account(self, now: int) -> None:
         if now > self._last_t:
             self._occupancy_integral += len(self.entries) * (now - self._last_t)
             self._last_t = now
 
+    def reset_accounting(self, now: int) -> None:
+        """Restart the time-weighted occupancy integral at ``now``.
+
+        Called at the warm-up boundary so :meth:`mean_occupancy` reports
+        the measured interval only, not warm-up traffic from t=0.
+        """
+        self._occupancy_integral = 0
+        self._last_t = now
+        self._t0 = now
+
     def mean_occupancy(self, now: int) -> float:
-        """Time-averaged entry count since construction/reset."""
+        """Time-averaged entry count since construction or the last
+        :meth:`reset_accounting`."""
         self._account(now)
-        return self._occupancy_integral / now if now else 0.0
+        span = now - self._t0
+        return self._occupancy_integral / span if span > 0 else 0.0
+
+    # -- index accessors (the scheduling fast path) -----------------------------
+
+    @property
+    def pr_count(self) -> int:
+        """Queued PR-class (demand-read) accesses, O(1)."""
+        return len(self._pr)
+
+    @property
+    def lr_count(self) -> int:
+        """Queued LR-class (writeback/refill tag-read) accesses, O(1)."""
+        return len(self._lr)
+
+    def bank_buckets(self) -> Dict[int, Dict[Access, None]]:
+        """``global_bank -> ordered set`` over **all** entries.
+
+        Read-only view of live internal state: callers must not mutate it,
+        and must not push/remove while iterating.
+        """
+        return self._banks
+
+    def pr_bank_buckets(self) -> Dict[int, Dict[Access, None]]:
+        """Per-bank buckets restricted to PR-class accesses (read-only)."""
+        return self._pr_banks
+
+    def lr_bank_buckets(self) -> Dict[int, Dict[Access, None]]:
+        """Per-bank buckets restricted to LR-class accesses (read-only)."""
+        return self._lr_banks
 
     # -- filtered views used by the designs -------------------------------------
 
     def priority_reads(self) -> list[Access]:
-        return [a for a in self.entries if a.priority == Priority.PR]
+        return list(self._pr)
 
     def low_priority_reads(self) -> list[Access]:
-        return [a for a in self.entries if a.priority == Priority.LR]
+        return list(self._lr)
 
     def filtered(self, pred: Callable[[Access], bool]) -> list[Access]:
         return [a for a in self.entries if pred(a)]
@@ -78,3 +202,25 @@ class AccessQueue:
         if not self.entries:
             return None
         return min(self.entries, key=lambda a: a.seq)
+
+    # -- self-checks (tests only; O(n)) -----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every index is consistent with ``entries`` (test hook)."""
+        assert len(self._pos) == len(self.entries)
+        for i, a in enumerate(self.entries):
+            assert self._pos[a] == i
+        prs = [a for a in self.entries if a.priority == Priority.PR]
+        lrs = [a for a in self.entries if a.priority == Priority.LR]
+        assert set(self._pr) == set(prs) and len(self._pr) == len(prs)
+        assert set(self._lr) == set(lrs) and len(self._lr) == len(lrs)
+        for name, index, universe in (
+                ("banks", self._banks, self.entries),
+                ("pr_banks", self._pr_banks, prs),
+                ("lr_banks", self._lr_banks, lrs)):
+            flat = [a for bucket in index.values() for a in bucket]
+            assert len(flat) == len(universe), name
+            assert set(flat) == set(universe), name
+            for gb, bucket in index.items():
+                assert bucket, f"{name}: empty bucket {gb}"
+                assert all(a.global_bank == gb for a in bucket), name

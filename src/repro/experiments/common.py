@@ -111,6 +111,22 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", "results/cache"))
 
 
+def atomic_write_json(path: Path, payload) -> Path:
+    """Serialise ``payload`` to ``path`` via tmp-file + rename.
+
+    The write is atomic at the filesystem level, so a crashed process
+    can't leave a torn entry.  Shared by :class:`ResultStore` and the
+    perf-benchmark store (repro/bench) so every on-disk JSON artefact
+    goes through the same path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=False))
+    tmp.replace(path)
+    return path
+
+
 class ResultStore:
     """Versioned on-disk store of :class:`SystemResult` JSON entries.
 
@@ -156,11 +172,7 @@ class ResultStore:
               result: SystemResult) -> None:
         if not self.enabled:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        key = self.key(spec, params)
-        tmp = self.cache_dir / f"{key}.tmp"
-        tmp.write_text(json.dumps(result.to_cache_dict()))
-        tmp.replace(self.cache_dir / f"{key}.json")
+        atomic_write_json(self.path(spec, params), result.to_cache_dict())
 
 
 def _spec_key(spec: RunSpec, params: SimParams) -> str:

@@ -135,6 +135,7 @@ class Simulator:
             (the clock is left at ``until``).
         max_events:
             Safety valve for tests: stop after this many callbacks.
+            ``0`` executes no events at all (``None`` means unlimited).
 
         Returns
         -------
@@ -144,6 +145,8 @@ class Simulator:
         heap = self._heap
         budget = max_events if max_events is not None else -1
         while heap:
+            if budget == 0:      # max_events=0 means "run zero events"
+                break
             ev = heap[0]
             if ev.cancelled:
                 heapq.heappop(heap)
@@ -160,8 +163,6 @@ class Simulator:
             ev.fn(ev.arg)
             if budget > 0:
                 budget -= 1
-                if budget == 0:
-                    break
         if until is not None and self.now < until:
             self.now = until
         return self.now

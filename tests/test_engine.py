@@ -165,6 +165,26 @@ class TestRunControl:
         sim.run(max_events=2)
         assert log == [1, 2]
 
+    def test_max_events_zero_runs_nothing(self):
+        """Regression: ``max_events=0`` used to mean unlimited (the
+        ``budget > 0`` guard never fired); it must execute zero events."""
+        sim = Simulator()
+        log = []
+        sim.at(100, log.append, 1)
+        sim.run(max_events=0)
+        assert log == []
+        assert sim.now == 0
+        assert sim.pending() == 1
+
+    def test_max_events_zero_is_resumable(self):
+        sim = Simulator()
+        log = []
+        sim.at(100, log.append, 1)
+        sim.run(max_events=0)
+        sim.run()
+        assert log == [1]
+        assert sim.now == 100
+
     def test_events_run_counter(self):
         sim = Simulator()
         for t in (1, 2, 3):

@@ -1,0 +1,53 @@
+"""Perf harness: scenario equivalence, result structure, BENCH emission."""
+
+import json
+
+import pytest
+
+from repro.bench.decision_loop import (
+    SCENARIOS,
+    bench_scenario,
+    run_decision_loop,
+    verify_equivalence,
+)
+from repro.bench.harness import BENCH_SCHEMA_VERSION, run_perf
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("mode", [m for m, _n, _q in SCENARIOS])
+    def test_engines_agree(self, mode):
+        verify_equivalence(mode, queue_size=32, decisions=150, seed=7)
+
+
+class TestScenario:
+    def test_result_structure(self):
+        r = bench_scenario("bliss_all", "t", queue_size=24, n_decisions=150)
+        d = r.to_dict()
+        assert d["decisions"] == 150
+        assert d["naive_per_s"] > 0 and d["indexed_per_s"] > 0
+        assert d["speedup"] > 0
+
+
+class TestHarness:
+    def test_bench_json_schema(self, tmp_path):
+        # Tiny decision counts keep this a structural test, not a perf one.
+        import repro.bench.decision_loop as dl
+        import repro.bench.harness as hz
+        orig = dl.run_decision_loop
+
+        def tiny(quick=False, seed=0):
+            return orig(quick=True, seed=seed)
+
+        hz.run_decision_loop = tiny
+        try:
+            path = run_perf(quick=True, label="test", out_dir=tmp_path,
+                            end_to_end=False)
+        finally:
+            hz.run_decision_loop = orig
+        data = json.loads(path.read_text())
+        assert path.name == "BENCH_test.json"
+        assert data["schema_version"] == BENCH_SCHEMA_VERSION
+        dl_data = data["decision_loop"]
+        assert dl_data["equivalence_checked"] is True
+        assert len(dl_data["scenarios"]) == len(SCENARIOS)
+        assert dl_data["geomean_speedup"] > 0
