@@ -18,6 +18,7 @@ Two stock configurations are provided:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 
 PS_PER_NS = 1000
@@ -258,10 +259,99 @@ class SystemConfig:
     mainmem: MainMemoryConfig = field(default_factory=MainMemoryConfig)
     num_cores: int = 4
     l2_mshrs: int = 32
+    #: True once queue parameters were set explicitly (e.g. by a sweep
+    #: override); the controller then keeps them instead of substituting
+    #: the per-design Table II defaults.
+    queues_explicit: bool = False
 
     def with_queues_for(self, design: str) -> "SystemConfig":
         """Return a copy with the per-design queue sizes from Table II."""
         return replace(self, queues=QueueConfig.for_design(design))
+
+    def with_overrides(self, overrides) -> "SystemConfig":
+        """Return a copy with dotted-path fields replaced.
+
+        ``overrides`` is a mapping or sequence of ``(path, value)`` pairs
+        where ``path`` navigates nested config dataclasses, e.g.
+        ``"queues.read_entries"``, ``"org.channels"``,
+        ``"queues.write_high_watermark"``.  Values are coerced to the type
+        of the field they replace (so a sweep axis of ``64`` can target a
+        float watermark without producing a distinct-but-equal config).
+        Any override under ``queues.`` marks the result
+        :attr:`queues_explicit`, which stops the controller from
+        re-applying the per-design queue defaults on top.
+        """
+        items = overrides.items() if hasattr(overrides, "items") else overrides
+        cfg = self
+        queues_touched = False
+        for path, value in items:
+            cfg = _replace_path(cfg, path, value)
+            if path.startswith("queues."):
+                queues_touched = True
+        if queues_touched:
+            cfg = replace(cfg, queues_explicit=True)
+        return cfg
+
+
+def coerce_bool(value) -> bool:
+    """Canonicalise a bool spelled as bool, 0/1, or 'true'/'false'.
+
+    The single bool-coercion rule shared by config overrides and sweep
+    axes, so the accepted spellings cannot drift between surfaces.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str) and value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    raise ValueError(f"cannot interpret {value!r} as a bool")
+
+
+def _coerce(current, value):
+    """Coerce an override value to the type of the field it replaces."""
+    if isinstance(current, bool):
+        return coerce_bool(value)
+    if isinstance(current, int):
+        if isinstance(value, bool):
+            raise ValueError(f"{value!r} is a bool, not a count")
+        if float(value) != int(value):
+            raise ValueError(f"{value!r} is not a whole number")
+        return int(value)
+    if isinstance(current, float):
+        return float(value)
+    return type(current)(value)
+
+
+def _replace_path(obj, path: str, value):
+    """Functional deep-replace along a dotted dataclass field path.
+
+    Only declared dataclass *fields* are addressable (not properties or
+    arbitrary attributes — ``replace()`` couldn't set those anyway), and
+    a path that tries to descend into a scalar fails with the same
+    ValueError vocabulary as an unknown field, so sweep axes always get
+    an actionable usage error instead of a worker-side TypeError.
+    """
+    first, _, rest = path.partition(".")
+    if not dataclasses.is_dataclass(obj):
+        raise ValueError(
+            f"config path segment {first!r} descends into "
+            f"{type(obj).__name__}, which is a scalar, not a config group")
+    names = [f.name for f in dataclasses.fields(obj)]
+    if first not in names:
+        raise ValueError(
+            f"unknown config field {first!r} on {type(obj).__name__}; "
+            f"known: {names}")
+    if rest:
+        return replace(obj, **{first: _replace_path(
+            getattr(obj, first), rest, value)})
+    current = getattr(obj, first)
+    if dataclasses.is_dataclass(current):
+        raise ValueError(
+            f"config path {path!r} names a group, not a scalar field; "
+            f"pick one of its fields: "
+            f"{[f.name for f in dataclasses.fields(current)]}")
+    return replace(obj, **{first: _coerce(current, value)})
 
 
 def paper_config() -> SystemConfig:

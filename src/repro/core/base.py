@@ -92,7 +92,10 @@ class BaseController:
                  organization: str = "sa", xor_remap: bool = False,
                  use_mapi: bool = True, scheduler: str = "bliss",
                  mainmem: Optional[MainMemory] = None):
-        cfg = cfg.with_queues_for(self.design)
+        if not cfg.queues_explicit:
+            # Stock config: substitute the per-design Table II queue
+            # sizes.  Explicitly overridden queues (sweep axes) win.
+            cfg = cfg.with_queues_for(self.design)
         self.sim = sim
         self.cfg = cfg
         self.organization = organization

@@ -19,10 +19,12 @@ order, so downstream iteration is deterministic.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import os
 import traceback
+import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +39,7 @@ from repro.sim.system import (
     SystemResult,
 )
 from repro.workloads.profiles import PROFILES, profile
+from repro.workloads.scenarios import workload_profiles
 from repro.workloads.table1 import TABLE1_MIXES, mix_profiles
 
 #: designs in the paper's presentation order
@@ -59,6 +62,44 @@ class SimParams:
         return cls(warmup_insts=10_000, measure_insts=25_000,
                    replay_accesses=6_000)
 
+    @classmethod
+    def from_cli(cls, quick: bool = False,
+                 measure: Optional[int] = None,
+                 error=None) -> "SimParams":
+        """Build params from the shared CLI flags, validating ``--measure``.
+
+        ``error`` is the argparse ``parser.error`` callable; without one a
+        ``ValueError`` is raised.  Shared by the figure runner and the
+        sweep CLI so the budget rules cannot drift apart.
+        """
+        params = cls.quick() if quick else cls()
+        if measure is not None:
+            # `if args.measure:` used to silently ignore --measure 0.
+            if measure <= 0:
+                msg = (f"--measure must be a positive instruction count, "
+                       f"got {measure}")
+                if error is not None:
+                    error(msg)
+                raise ValueError(msg)
+            params = dataclasses.replace(params, measure_insts=measure)
+        return params
+
+
+def validated_mix_ids(n: int, error=None) -> list[int]:
+    """Mixes ``1..n``, rejecting out-of-range counts.
+
+    The old behaviour silently clamped to 30 and let ``--mixes 0``
+    produce an empty grid that "passed"; both are errors now.  ``error``
+    is the argparse ``parser.error`` callable; without one a
+    ``ValueError`` is raised.
+    """
+    if not 1 <= n <= 30:
+        msg = f"--mixes must be 1..30 (Table I has 30 mixes), got {n}"
+        if error is not None:
+            error(msg)
+        raise ValueError(msg)
+    return list(range(1, n + 1))
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -73,25 +114,64 @@ class RunSpec:
     scheduler: str = "bliss"
     use_mapi: bool = True
     seed: int = 0
+    #: named workload scenario (repro.workloads.scenarios) or trace:<path>
+    workload: Optional[str] = None
+    #: config overrides as ``(dotted_path, value)`` pairs — hashable, so
+    #: sweep points over e.g. queue depth stay valid cache keys
+    config: tuple = ()
 
     def benchmarks(self):
         if self.alone_benchmark is not None:
             return [profile(self.alone_benchmark)]
+        if self.workload is not None:
+            return workload_profiles(self.workload)
         if self.mix_id is None:
-            raise ValueError("spec needs mix_id or alone_benchmark")
+            raise ValueError("spec needs mix_id, workload or alone_benchmark")
         return mix_profiles(self.mix_id)
 
     def label(self) -> str:
         name = ("XOR+" if self.xor_remap else "") + self.design
         if self.lee_writeback:
             name = "LEE+" + name
+        if self.workload is not None:
+            name += f":{self.workload}"
+        if self.config:
+            # points differing only in overrides must stay tellable apart
+            # in progress lines and GridExecutionError reports
+            name += "[" + ",".join(f"{k}={v}" for k, v in self.config) + "]"
         return name
+
+
+def default_seed(spec: RunSpec) -> int:
+    """Trace seed of a spec that doesn't pin one explicitly.
+
+    Distinct per benchmark/workload: alone runs used to all collapse to
+    seed 1, sharing one RNG stream across every benchmark.  CRC32 of the
+    target name is stable across processes and Python versions (unlike
+    ``hash``), so cache keys and results stay reproducible.
+    """
+    if spec.seed:
+        return spec.seed
+    # Mirror RunSpec.benchmarks() precedence exactly: the seed derives
+    # from whichever field actually supplies the benchmarks, so a spec
+    # combining targets can't seed from an ignored one.
+    basis = spec.alone_benchmark or spec.workload
+    if basis is not None:
+        return 1 + zlib.crc32(basis.encode()) % 1_000_003
+    if spec.mix_id is not None:
+        return spec.mix_id
+    return 1 + zlib.crc32(spec.design.encode()) % 1_000_003
 
 
 def run_one(spec: RunSpec, params: SimParams) -> SystemResult:
     """Execute one simulation point (safe to call in a worker process)."""
     cfg = scaled_config(params.capacity_scale)
-    seed = spec.seed if spec.seed else (spec.mix_id or 1)
+    if spec.config:
+        # Resolve the per-design queue defaults first so queue overrides
+        # refine them (the controller honours explicit queues; see
+        # SystemConfig.with_overrides / BaseController.__init__).
+        cfg = cfg.with_queues_for(spec.design).with_overrides(spec.config)
+    seed = default_seed(spec)
     system = System(
         cfg, spec.design, spec.benchmarks(),
         organization=spec.organization, xor_remap=spec.xor_remap,
@@ -101,7 +181,12 @@ def run_one(spec: RunSpec, params: SimParams) -> SystemResult:
     result = system.run(warmup_insts=params.warmup_insts,
                         measure_insts=params.measure_insts,
                         replay_accesses=params.replay_accesses)
-    result.meta["spec"] = dataclasses.asdict(spec)
+    spec_dict = dataclasses.asdict(spec)
+    # JSON-canonical form: the config override pairs are tuples on the
+    # spec (hashability) but lists on disk, so cache round-trips are
+    # lossless (SystemResult equality included).
+    spec_dict["config"] = [list(kv) for kv in spec.config]
+    result.meta["spec"] = spec_dict
     return result
 
 
@@ -109,6 +194,30 @@ def run_one(spec: RunSpec, params: SimParams) -> SystemResult:
 
 def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", "results/cache"))
+
+
+@functools.lru_cache(maxsize=256)
+def _file_digest(path: str, mtime_ns: int, size: int) -> str:
+    # mtime/size participate in the lru key, so an edited file re-hashes.
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+
+
+def _workload_content_token(workload: Optional[str]) -> Optional[str]:
+    """Content fingerprint of a ``trace:<path>`` workload, else None.
+
+    A trace-file spec names the file, not its contents — without this
+    token, editing the trace would silently serve stale cached results
+    for the same path.  A missing file gets a sentinel (the run will
+    fail with its own clear error).
+    """
+    if not workload or not workload.startswith("trace:"):
+        return None
+    path = workload[len("trace:"):]
+    try:
+        st = os.stat(path)
+    except OSError:
+        return "missing"
+    return _file_digest(path, st.st_mtime_ns, st.st_size)
 
 
 def atomic_write_json(path: Path, payload) -> Path:
@@ -146,7 +255,8 @@ class ResultStore:
     def key(self, spec: RunSpec, params: SimParams) -> str:
         payload = json.dumps(
             [RESULT_SCHEMA_VERSION, dataclasses.asdict(spec),
-             dataclasses.asdict(params)],
+             dataclasses.asdict(params),
+             _workload_content_token(spec.workload)],
             sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 

@@ -1,13 +1,18 @@
-"""Command-line entry point: regenerate any paper table/figure.
+"""Command-line entry point: regenerate any paper table/figure, or sweep.
 
 Usage::
 
     python -m repro.experiments <id> [...ids|all] [options]
     dca-repro fig08 --mixes 30 --jobs 8
+    dca-repro sweep --axis scheduler=bliss,frfcfs --axis queues.read_entries=16,64
 
 Reports are printed and written to ``results/<id>.txt`` (+ ``.json``).
 Each experiment also evaluates its shape checks (the qualitative claims
 the paper makes about that figure) and reports PASS/FAIL per claim.
+
+The ``sweep`` subcommand (``dca-repro sweep --help``) executes arbitrary
+scenario grids with sharding and resumable checkpoints; it is implemented
+in :mod:`repro.scenarios.cli`.
 """
 
 from __future__ import annotations
@@ -38,7 +43,9 @@ MODULES = {m.ID: m for m in (
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="dca-repro",
-        description="Regenerate tables/figures of the DCA paper (SC'16).")
+        description="Regenerate tables/figures of the DCA paper (SC'16).",
+        epilog="For arbitrary scenario grids (sharded, resumable), see the "
+               "'sweep' subcommand: dca-repro sweep --help")
     p.add_argument("ids", nargs="+",
                    help=f"experiment ids ({', '.join(MODULES)}) or 'all'")
     p.add_argument("--mixes", type=int, default=30,
@@ -89,19 +96,27 @@ def run_experiment(exp_id: str, params: common.SimParams, mixes: list[int],
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        from repro.scenarios.cli import main as sweep_main
+        return sweep_main(argv[1:])
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
     ids = list(MODULES) if "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in MODULES]
     if unknown:
+        if "sweep" in unknown:
+            print("'sweep' is a subcommand and must come first: "
+                  "dca-repro sweep [options]", file=sys.stderr)
         print(f"unknown experiment ids: {unknown}; known: {list(MODULES)}",
               file=sys.stderr)
         return 2
 
-    params = common.SimParams.quick() if args.quick else common.SimParams()
-    if args.measure:
-        import dataclasses
-        params = dataclasses.replace(params, measure_insts=args.measure)
-    mixes = list(range(1, min(args.mixes, 30) + 1))
+    params = common.SimParams.from_cli(quick=args.quick, measure=args.measure,
+                                       error=parser.error)
+    mixes = common.validated_mix_ids(args.mixes, error=parser.error)
     out_dir = Path(args.out)
 
     all_ok = True

@@ -1,0 +1,238 @@
+"""Sweep execution: shard selection, checkpointing store, result surfacing.
+
+:func:`run_sweep` drives a compiled :class:`~repro.scenarios.spec.SweepSpec`
+through the same machinery the paper figures use — ``run_grid`` over a
+process pool with a versioned :class:`ResultStore` — adding the sweep
+manifest as a per-point checkpoint: the store's ``store()`` hook marks the
+manifest after each point is cached, so progress survives any interruption
+at point granularity.
+
+Results are surfaced in the metrics-registry snapshot format: the sweep
+artefact (``<out>/<name>/results.json``) carries, per point, the axis
+assignment plus the full ``SystemResult`` cache dict — the same
+schema-versioned payload the figure cache and BENCH artefacts read — so
+downstream tooling needs exactly one result schema.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.common import (
+    GridExecutionError,
+    ResultStore,
+    RunSpec,
+    SimParams,
+    atomic_write_json,
+    format_table,
+    run_grid,
+)
+from repro.scenarios.manifest import SweepManifest
+from repro.scenarios.spec import SweepPoint, SweepSpec
+from repro.sim.system import RESULT_SCHEMA_VERSION, SystemResult
+
+#: Version of the sweep results.json payload (the per-point result dicts
+#: inside are versioned separately by RESULT_SCHEMA_VERSION).
+SWEEP_SCHEMA_VERSION = 1
+
+
+class CheckpointingStore(ResultStore):
+    """ResultStore that marks the sweep manifest as each point lands.
+
+    ``store()`` is called by ``run_grid`` the moment a point finishes, so
+    chaining the manifest update here gives point-granular checkpoints
+    without touching the grid executor.  ``executed`` counts real
+    simulations (cache hits never reach ``store``), which is how the
+    resume test distinguishes served-from-cache from re-run.
+    """
+
+    def __init__(self, manifest: SweepManifest, cache_dir=None,
+                 enabled: bool = True):
+        super().__init__(cache_dir, enabled=enabled)
+        self.manifest = manifest
+        self.executed: list[str] = []
+
+    def store(self, spec: RunSpec, params: SimParams,
+              result: SystemResult) -> None:
+        super().store(spec, params, result)
+        key = self.key(spec, params)
+        self.executed.append(key)
+        if self.enabled:
+            # A checkpoint is only real if a cache entry backs it: under
+            # --no-cache nothing is resumable, so the manifest must not
+            # claim progress a resume could trust.
+            self.manifest.mark_done(key)
+
+
+@dataclass
+class PointOutcome:
+    """One grid point's result, joined back to its axis assignment."""
+
+    point: SweepPoint
+    key: str
+    result: Optional[SystemResult]     # None when the point failed
+    executed: bool                     # False -> served from cache
+    error: Optional[str] = None        # traceback summary when failed
+
+    def to_dict(self) -> dict:
+        out = {
+            "axes": self.point.axis_dict(),
+            "label": self.point.spec.label(),
+            "key": self.key,
+            "executed": self.executed,
+        }
+        if self.result is not None:
+            # Full schema-versioned result payload, identical to a cache
+            # entry: figures and BENCH tooling read one schema.
+            out["result"] = self.result.to_cache_dict()
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one ``run_sweep`` invocation produced."""
+
+    name: str
+    sweep_id: str
+    shard: tuple[int, int]
+    points: list[PointOutcome]
+    manifest_path: Path
+    results_path: Optional[Path]
+    elapsed_s: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return sum(p.executed for p in self.points)
+
+    @property
+    def cached(self) -> int:
+        return sum(p.result is not None and not p.executed
+                   for p in self.points)
+
+    @property
+    def failures(self) -> list[PointOutcome]:
+        return [p for p in self.points if p.error is not None]
+
+    def summary_table(self) -> str:
+        axis_names = (list(self.points[0].point.axis_dict())
+                      if self.points else [])
+        headers = axis_names + ["ipc_sum", "read_lat_ns", "row_hit", "src"]
+        rows = []
+        for p in self.points:
+            cells = [p.point.axis_dict()[a] for a in axis_names]
+            if p.result is None:
+                cells += ["-", "-", "-", "FAILED"]
+            else:
+                r = p.result
+                cells += [f"{sum(r.ipcs):.3f}",
+                          f"{r.mean_read_latency_ps / 1000:.1f}",
+                          f"{r.read_row_hit_rate:.3f}",
+                          "ran" if p.executed else "cache"]
+            rows.append(cells)
+        return format_table(headers, rows,
+                            title=f"sweep {self.name} "
+                                  f"[shard {self.shard[0] + 1}"
+                                  f"/{self.shard[1]}]")
+
+    def counts_line(self) -> str:
+        return (f"{len(self.points)} points: {self.executed} executed, "
+                f"{self.cached} cached, {len(self.failures)} failed")
+
+
+def _artifact_name(base: str, shard: tuple[int, int], ext: str) -> str:
+    i, n = shard
+    return f"{base}.{ext}" if n == 1 else f"{base}_{i + 1}of{n}.{ext}"
+
+
+def run_sweep(sweep: SweepSpec, params: SimParams,
+              shard: tuple[int, int] = (0, 1), jobs: int = 0,
+              out_dir: Path = Path("results/sweeps"),
+              cache_dir: Optional[Path] = None, use_cache: bool = True,
+              progress: bool = False,
+              points: Optional[list[SweepPoint]] = None) -> SweepOutcome:
+    """Execute (or resume) one shard of a sweep; returns the outcome.
+
+    Interruptions are safe at point granularity: each completed point is
+    already in the result cache and the manifest.  Re-invoking with the
+    same arguments resumes — previously finished points are served from
+    the cache, only the remainder executes.  Individual point crashes do
+    not abort the shard (``run_grid`` failure isolation); they surface in
+    ``outcome.failures`` with the rest completed and checkpointed.
+
+    ``points`` lets a caller that already compiled the grid pass this
+    shard's slice in (the CLI does), skipping a recompilation; it must
+    equal ``sweep.shard_points(shard)``.
+    """
+    t0 = time.time()
+    if points is None:
+        points = sweep.shard_points(shard)
+    sweep_dir = Path(out_dir) / sweep.name
+    sweep_dir.mkdir(parents=True, exist_ok=True)
+
+    probe = ResultStore(cache_dir, enabled=use_cache)
+    keys = [probe.key(p.spec, params) for p in points]
+    sweep_id = sweep.sweep_id(params)
+    manifest = SweepManifest.load_or_create(
+        sweep_dir / _artifact_name("manifest", shard, "json"),
+        sweep_id, sweep.name, keys, shard)
+    if progress and manifest.completed:
+        print(f"  resuming: {manifest.summary()}")
+
+    store = CheckpointingStore(manifest, cache_dir, enabled=use_cache)
+    specs = [p.spec for p in points]
+    failures: dict[RunSpec, str] = {}
+    try:
+        results = run_grid(specs, params, jobs=jobs, use_cache=use_cache,
+                           progress=progress, store=store)
+    except GridExecutionError as exc:
+        results = exc.results
+        failures = exc.failures
+
+    executed = set(store.executed)
+    outcomes = []
+    for point, key in zip(points, keys):
+        result = results.get(point.spec)
+        tb = failures.get(point.spec)
+        outcomes.append(PointOutcome(
+            point=point, key=key, result=result,
+            executed=key in executed,
+            error=(tb.strip().splitlines()[-1] if tb else None)))
+    # Points completed by cache hits (e.g. a previous sweep sharing specs)
+    # belong in the manifest too, not just freshly executed ones — but
+    # only while caching is on (a --no-cache "checkpoint" would promise
+    # resumability that no cache entry backs).
+    if use_cache:
+        manifest.mark_many(k for k, p in zip(keys, outcomes)
+                           if p.result is not None)
+
+    results_path = atomic_write_json(
+        sweep_dir / _artifact_name("results", shard, "json"),
+        {
+            "schema_version": SWEEP_SCHEMA_VERSION,
+            "result_schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "sweep",
+            "sweep_id": sweep_id,
+            "name": sweep.name,
+            "spec": sweep.to_dict(),
+            "shard": list(shard),
+            "params": {k: getattr(params, k)
+                       for k in params.__dataclass_fields__},
+            # Every point of this run must actually carry a result: a
+            # stale manifest (cache pruned, point now failing) must not
+            # let is_complete() alone bless a partial grid.  Without
+            # caching the manifest records nothing, so this run's
+            # outcomes are the whole truth.
+            "complete": (all(p.result is not None for p in outcomes)
+                         and (manifest.is_complete() or not use_cache)),
+            "points": [p.to_dict() for p in outcomes],
+        })
+
+    return SweepOutcome(
+        name=sweep.name, sweep_id=sweep_id, shard=shard, points=outcomes,
+        manifest_path=manifest.path, results_path=results_path,
+        elapsed_s=round(time.time() - t0, 3))

@@ -1,0 +1,130 @@
+"""Sweep manifests: the on-disk checkpoint a resumed sweep reads.
+
+One manifest JSON per (sweep, shard) records the sweep identity, every
+point key in this shard, and which of them have completed.  Per-point
+checkpointing is O(1), not a rewrite of the whole file: each completed
+point appends one line to a sidecar completion log
+(``manifest.log`` next to ``manifest.json``), and the JSON itself is
+rewritten (atomically, tmp + rename) only when the manifest is created,
+resumed, or finalised — at which moment the log is folded in and
+truncated.  A killed sweep therefore leaves a consistent checkpoint at
+point granularity: the completed set is the JSON's ``completed`` list
+unioned with the log's lines (the union is idempotent, so a crash
+between fold and truncate costs nothing).
+
+The manifest is advisory metadata *about* the cache, not a second source
+of truth: results live in the ResultStore keyed by (schema, spec,
+params); the manifest records grid membership and progress so a resume
+can report "k of n done" without probing every cache entry, and so a
+stale grid definition (different ``sweep_id``) is detected and restarted
+instead of silently mixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.experiments.common import atomic_write_json
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class SweepManifest:
+    """Progress checkpoint of one sweep shard (see module docstring)."""
+
+    def __init__(self, path: Path, sweep_id: str, name: str,
+                 point_keys: list[str], shard: tuple[int, int] = (0, 1)):
+        self.path = Path(path)
+        self.sweep_id = sweep_id
+        self.name = name
+        self.shard = (int(shard[0]), int(shard[1]))
+        self.point_keys = list(point_keys)
+        self.completed: set[str] = set()
+
+    @property
+    def log_path(self) -> Path:
+        return self.path.with_suffix(".log")
+
+    # --------------------------------------------------------------- load/save
+
+    @classmethod
+    def load_or_create(cls, path: Path, sweep_id: str, name: str,
+                       point_keys: list[str],
+                       shard: tuple[int, int] = (0, 1)) -> "SweepManifest":
+        """Resume from ``path`` when it matches this sweep; else start fresh.
+
+        A mismatched or unreadable manifest (different grid definition,
+        params, schema, shard split, or plain corruption) is discarded —
+        resuming across definitions would report progress for points that
+        are not in this grid.
+        """
+        manifest = cls(path, sweep_id, name, point_keys, shard)
+        existing = cls._read(path)
+        if (existing is not None
+                and existing.get("sweep_id") == sweep_id
+                and existing.get("schema_version") == MANIFEST_SCHEMA_VERSION
+                and list(existing.get("shard", ())) == list(manifest.shard)
+                and existing.get("points") == point_keys):
+            logged = manifest._read_log()
+            manifest.completed = (set(existing.get("completed", ())) | logged) \
+                & set(point_keys)
+        manifest.save()
+        return manifest
+
+    @staticmethod
+    def _read(path: Path) -> Optional[dict]:
+        try:
+            data = json.loads(Path(path).read_text())
+            return data if isinstance(data, dict) else None
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    def _read_log(self) -> set[str]:
+        try:
+            # A torn final line (crash mid-append) is filtered out by the
+            # intersection with point_keys in load_or_create.
+            return set(self.log_path.read_text().split())
+        except (OSError, UnicodeDecodeError):
+            return set()
+
+    def save(self) -> None:
+        """Full atomic rewrite folding the log in; truncates the log."""
+        atomic_write_json(self.path, {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "sweep_id": self.sweep_id,
+            "name": self.name,
+            "shard": list(self.shard),
+            "points": self.point_keys,
+            # sorted: bit-identical manifests for identical progress
+            "completed": sorted(self.completed),
+        })
+        # The JSON now carries everything the log held; an interruption
+        # between the rename above and this truncate only leaves
+        # redundant lines, which the union on load absorbs.
+        self.log_path.write_text("")
+
+    # --------------------------------------------------------------- progress
+
+    def mark_done(self, key: str) -> None:
+        """Checkpoint one completed point: O(1) append, no rewrite."""
+        if key not in self.completed:
+            self.completed.add(key)
+            with self.log_path.open("a") as log:
+                log.write(key + "\n")
+
+    def mark_many(self, keys: Iterable[str]) -> None:
+        """Bulk mark + fold into the JSON (used when a grid run ends)."""
+        self.completed |= set(keys)
+        self.save()
+
+    def pending(self) -> list[str]:
+        return [k for k in self.point_keys if k not in self.completed]
+
+    def is_complete(self) -> bool:
+        return not self.pending()
+
+    def summary(self) -> str:
+        return (f"{len(self.completed)}/{len(self.point_keys)} points "
+                f"complete (shard {self.shard[0] + 1} of {self.shard[1]})")

@@ -35,13 +35,12 @@ from repro.mem.sram import SRAMCache
 from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
 from repro.sim.engine import Simulator
 from repro.workloads.profiles import BenchmarkProfile
-from repro.workloads.generator import make_trace
 
 #: Version of the :class:`SystemResult` on-disk schema.  Bump whenever the
 #: result fields, the metrics hierarchy, or the semantics of any reported
 #: value change — the experiment cache keys on it, so entries written by
 #: older code are invalidated instead of silently reused (see DESIGN.md).
-RESULT_SCHEMA_VERSION = 2
+RESULT_SCHEMA_VERSION = 3
 
 
 class ResultSchemaError(ValueError):
@@ -159,9 +158,12 @@ class System:
         self._footprint_scale = footprint_scale
         self.cores: list[Core] = []
         for i, prof in enumerate(benchmarks):
-            trace = make_trace(prof, seed=seed * 1000003 + i * 7919 + 1,
-                               core_offset=i << 44,
-                               footprint_scale=footprint_scale)
+            # Trace-source protocol: any workload frontend (synthetic
+            # profile, phased/adversarial scenario, trace-file replay)
+            # builds its own stream; see repro/workloads/scenarios.py.
+            trace = prof.make_trace(seed=seed * 1000003 + i * 7919 + 1,
+                                    core_offset=i << 44,
+                                    footprint_scale=footprint_scale)
             self.cores.append(Core(self.sim, i, cfg.cpu, trace, self))
 
         self._mshr_waiters: list[Core] = []
@@ -273,6 +275,16 @@ class System:
         scale = self._footprint_scale
         if prefill:
             for i, prof in enumerate(self.benchmarks):
+                prefill_blocks = getattr(prof, "prefill_blocks", None)
+                if prefill_blocks is not None:
+                    # Workloads with non-contiguous footprints (trace
+                    # replay, adversaries) name their exact warm set; the
+                    # contiguous bulk fill below would warm blocks they
+                    # never touch.  Linear in distinct blocks — the same
+                    # order as generating/parsing the workload itself.
+                    for addr, dirty in prefill_blocks():
+                        array.fill((i << 44) + addr, dirty=dirty)
+                    continue
                 n_blocks = max(1024, int(prof.footprint_bytes * scale)
                                // self.cfg.l2.block_bytes)
                 array.bulk_fill(i << 44, n_blocks,

@@ -1,8 +1,17 @@
-"""Workloads: synthetic SPEC CPU2006 benchmark models and Table I mixes."""
+"""Workloads: synthetic SPEC CPU2006 benchmark models, Table I mixes, and
+sweepable scenarios (phased/adversarial generators, trace-file replay)."""
 
 from repro.workloads.profiles import BenchmarkProfile, PROFILES, profile
 from repro.workloads.generator import make_trace
 from repro.workloads.table1 import TABLE1_MIXES, mix_profiles, mix_name
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ConflictProfile,
+    PhasedProfile,
+    TraceFileWorkload,
+    workload_names,
+    workload_profiles,
+)
 
 __all__ = [
     "BenchmarkProfile",
@@ -12,4 +21,10 @@ __all__ = [
     "TABLE1_MIXES",
     "mix_profiles",
     "mix_name",
+    "SCENARIOS",
+    "ConflictProfile",
+    "PhasedProfile",
+    "TraceFileWorkload",
+    "workload_names",
+    "workload_profiles",
 ]

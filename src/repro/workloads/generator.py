@@ -61,11 +61,18 @@ def make_trace(profile: BenchmarkProfile, seed: int = 0,
     footprint_blocks = max(1024, int(
         profile.footprint_bytes * footprint_scale) // BLOCK)
     mean_gap = profile.mean_gap_instructions
-    n_streams = profile.num_streams
-    seg = footprint_blocks // n_streams
+    # Never more walkers than blocks: a tiny scaled footprint must not
+    # produce zero-width segments (randrange(0) raises).
+    n_streams = min(profile.num_streams, footprint_blocks)
 
-    # Each walker owns one contiguous segment of the footprint.
-    stream_pos = [rng.randrange(seg) for _ in range(n_streams)]
+    # Each walker owns one contiguous segment of the footprint.  The
+    # boundaries tile [0, footprint_blocks) exactly, so the tail blocks a
+    # truncating ``footprint_blocks // n_streams`` split would strand are
+    # reachable by the last walker.
+    seg_start = [footprint_blocks * s // n_streams for s in range(n_streams)]
+    seg_len = [footprint_blocks * (s + 1) // n_streams - seg_start[s]
+               for s in range(n_streams)]
+    stream_pos = [rng.randrange(seg_len[s]) for s in range(n_streams)]
     stream_pc = [0x400000 + 64 * s for s in range(n_streams)]
     random_pcs = [0x500000 + 64 * i for i in range(8)]
 
@@ -87,14 +94,14 @@ def make_trace(profile: BenchmarkProfile, seed: int = 0,
             if sequential:
                 s = randrange(n_streams)
                 if random_u() < jump_prob:
-                    stream_pos[s] = randrange(seg)
+                    stream_pos[s] = randrange(seg_len[s])
                 pc = stream_pc[s]
             for k in range(burst_len):
                 gap = head_gap if k == 0 else randrange(1, 3)
                 if sequential:
                     pos = stream_pos[s]
-                    stream_pos[s] = (pos + 1) % seg
-                    block = s * seg + pos
+                    stream_pos[s] = (pos + 1) % seg_len[s]
+                    block = seg_start[s] + pos
                 else:
                     block = randrange(footprint_blocks)
                     pc = random_pcs[block & 7]

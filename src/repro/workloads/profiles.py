@@ -61,6 +61,19 @@ class BenchmarkProfile:
     def footprint_bytes(self) -> int:
         return int(self.footprint_mb * 2**20)
 
+    def make_trace(self, seed: int = 0, core_offset: int = 0,
+                   footprint_scale: float = 1.0):
+        """Build this benchmark's access stream (the trace-source protocol).
+
+        Every workload the system can run — synthetic profile, phased or
+        adversarial scenario, trace-file replay — exposes ``name``,
+        ``footprint_bytes``, ``store_fraction`` and this method; the
+        :class:`repro.sim.system.System` only ever talks to that surface.
+        """
+        from repro.workloads.generator import make_trace
+        return make_trace(self, seed=seed, core_offset=core_offset,
+                          footprint_scale=footprint_scale)
+
 
 #: The 11 benchmarks of the paper's Table I.
 PROFILES: dict[str, BenchmarkProfile] = {p.name: p for p in [

@@ -156,6 +156,80 @@ class TestSystemConfig:
         assert cfg.queues.read_entries == 32
         assert cfg.queues.write_entries == 96
 
+    def test_with_overrides_nested_paths(self):
+        cfg = paper_config().with_overrides({
+            "queues.read_entries": 16,
+            "org.channels": 8,
+            "queues.write_high_watermark": 0.9,
+        })
+        assert cfg.queues.read_entries == 16
+        assert cfg.org.channels == 8
+        assert cfg.queues.write_high_watermark == 0.9
+        assert cfg.queues_explicit is True
+        # untouched fields survive
+        assert cfg.queues.write_entries == 64
+        assert cfg.org.banks_per_rank == 16
+
+    def test_with_overrides_coerces_to_field_type(self):
+        """An int sweep value targeting a float field must not create a
+        distinct-but-equal config (cache keys would diverge)."""
+        cfg = paper_config().with_overrides(
+            [("queues.write_high_watermark", 1)])
+        assert cfg.queues.write_high_watermark == 1.0
+        assert isinstance(cfg.queues.write_high_watermark, float)
+        cfg = paper_config().with_overrides([("num_cores", 8.0)])
+        assert cfg.num_cores == 8 and isinstance(cfg.num_cores, int)
+
+    def test_with_overrides_rejects_fractional_int(self):
+        with pytest.raises(ValueError):
+            paper_config().with_overrides([("queues.read_entries", 16.5)])
+
+    def test_with_overrides_rejects_bool_for_int(self):
+        """True would silently become a 1-entry queue."""
+        with pytest.raises(ValueError, match="bool"):
+            paper_config().with_overrides([("queues.read_entries", True)])
+
+    def test_with_overrides_non_queue_path_not_explicit(self):
+        cfg = paper_config().with_overrides([("org.channels", 2)])
+        assert cfg.queues_explicit is False
+
+    def test_with_overrides_unknown_path(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            paper_config().with_overrides([("queues.bogus", 1)])
+        with pytest.raises(ValueError, match="unknown config field"):
+            paper_config().with_overrides([("bogus.x", 1)])
+
+    def test_with_overrides_path_through_scalar(self):
+        """Descending into a scalar is a ValueError, not AttributeError,
+        and int attributes like .real are not addressable."""
+        with pytest.raises(ValueError, match="scalar"):
+            paper_config().with_overrides([("num_cores.x", 1)])
+        with pytest.raises(ValueError, match="scalar"):
+            paper_config().with_overrides([("num_cores.real", 1)])
+
+    def test_with_overrides_property_not_addressable(self):
+        """Only declared fields are settable; derived properties
+        (org.total_banks) must be rejected, replace() can't set them."""
+        with pytest.raises(ValueError, match="unknown config field"):
+            paper_config().with_overrides([("org.total_banks", 8)])
+
+    def test_with_overrides_group_path_rejected(self):
+        with pytest.raises(ValueError, match="group, not a scalar"):
+            paper_config().with_overrides([("queues", 1)])
+
+    def test_explicit_queues_survive_controller(self):
+        """The per-design Table II substitution yields to explicit queue
+        overrides (sweep axes) but still applies to stock configs."""
+        from repro.core import make_controller
+        from repro.sim.engine import Simulator
+        cfg = scaled_config().with_queues_for("ROD").with_overrides(
+            [("queues.read_entries", 16)])
+        ctrl = make_controller("ROD", Simulator(), cfg)
+        assert ctrl.cfg.queues.read_entries == 16
+        assert ctrl.cfg.queues.write_entries == 96
+        stock = make_controller("ROD", Simulator(), scaled_config())
+        assert stock.cfg.queues.read_entries == 32
+
     def test_bliss_defaults(self):
         b = BLISSConfig()
         assert b.blacklist_threshold == 4

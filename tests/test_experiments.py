@@ -41,6 +41,10 @@ class TestRunSpec:
     def test_label(self):
         assert RunSpec("DCA", xor_remap=True).label() == "XOR+DCA"
         assert RunSpec("CD", lee_writeback=True).label() == "LEE+CD"
+        assert (RunSpec("DCA", workload="adversarial_conflict").label()
+                == "DCA:adversarial_conflict")
+        assert (RunSpec("DCA", config=(("queues.read_entries", 16),)).label()
+                == "DCA[queues.read_entries=16]")
 
     def test_grid_specs_cross_product(self):
         specs = grid_specs([1, 2], ("sa", "dm"), remaps=(False, True))
@@ -89,6 +93,21 @@ class TestCaching:
         k2 = common._spec_key(RunSpec("DCA", mix_id=1), QUICK)
         k3 = common._spec_key(RunSpec("CD", mix_id=1), SimParams())
         assert len({k1, k2, k3}) == 3
+
+    def test_key_tracks_trace_file_content(self, tmp_path):
+        """Editing a trace:<path> file must change the cache key — the
+        path alone would silently serve results of the old contents."""
+        path = tmp_path / "w.trace"
+        path.write_text("1 0 r\n")
+        spec = RunSpec("CD", workload=f"trace:{path}")
+        store = ResultStore(tmp_path)
+        k1 = store.key(spec, QUICK)
+        assert store.key(spec, QUICK) == k1   # stable while unchanged
+        path.write_text("1 64 w\n")
+        assert store.key(spec, QUICK) != k1
+        # non-trace specs are unaffected by the token machinery
+        assert common._workload_content_token(None) is None
+        assert common._workload_content_token("adversarial_conflict") is None
 
     def test_explicit_cache_dir_parameter(self, tmp_path):
         spec = RunSpec("CD", alone_benchmark="gcc")
@@ -159,6 +178,39 @@ class TestResultStore:
         assert not (tmp_path / "c").exists()
         assert store.load(self.SPEC, QUICK) is None
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        """A torn write (e.g. disk full mid-rename fallback) is a miss."""
+        store, _ = self.store_with_entry(tmp_path)
+        path = store.path(self.SPEC, QUICK)
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_empty_entry_is_a_miss(self, tmp_path):
+        store, _ = self.store_with_entry(tmp_path)
+        store.path(self.SPEC, QUICK).write_text("")
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_wrong_json_type_is_a_miss(self, tmp_path):
+        store, _ = self.store_with_entry(tmp_path)
+        store.path(self.SPEC, QUICK).write_text("[1, 2, 3]")
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_partial_field_set_is_a_miss(self, tmp_path):
+        """An entry missing fields (partial schema migration) is a miss."""
+        store, _ = self.store_with_entry(tmp_path)
+        path = store.path(self.SPEC, QUICK)
+        data = json.loads(path.read_text())
+        del data["ipcs"]
+        del data["metrics"]
+        path.write_text(json.dumps(data))
+        assert store.load(self.SPEC, QUICK) is None
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        store, _ = self.store_with_entry(tmp_path)
+        store.path(self.SPEC, QUICK).write_bytes(b"\xff\xfe\x00garbage")
+        assert store.load(self.SPEC, QUICK) is None
+
     def test_from_cache_dict_validates(self):
         with pytest.raises(ResultSchemaError):
             SystemResult.from_cache_dict({"schema_version": -1})
@@ -215,6 +267,34 @@ class TestFailureIsolation:
         out = run_grid(specs, QUICK, jobs=3, cache_dir=tmp_path)
         assert list(out) == specs
 
+    def test_run_experiment_survives_partial_failure(self, tmp_path,
+                                                     monkeypatch, capsys):
+        """The runner's GridExecutionError path: the experiment is
+        reported failed (return False, failures on stderr) without an
+        exception escaping to kill the remaining experiment ids."""
+        from repro.experiments import runner
+        bad, good = self.BAD, self.GOOD
+
+        class BoomModule:
+            ID = "boom"
+            TITLE = "synthetic partial failure"
+
+            @staticmethod
+            def run(params, mixes, jobs=0, progress=False, use_cache=True):
+                raise GridExecutionError(
+                    {bad: "Traceback ...\nValueError: unknown design"},
+                    {good: None})
+
+        monkeypatch.setitem(runner.MODULES, "boom", BoomModule)
+        ok = runner.run_experiment("boom", QUICK, [1], jobs=1,
+                                   out_dir=tmp_path)
+        assert ok is False
+        err = capsys.readouterr().err
+        assert "1 of 2 grid points failed" in err
+        assert "unknown design" in err
+        # no report artefacts for the failed experiment
+        assert not (tmp_path / "boom.json").exists()
+
 
 class TestSpeedupPlumbing:
     def test_alone_table_and_ws(self, tmp_path, monkeypatch):
@@ -260,10 +340,86 @@ class TestStaticExperiments:
         assert "tRCD" in report
 
 
+class TestSeedDerivation:
+    def test_alone_runs_get_distinct_seeds(self):
+        """Alone benchmarks used to all collapse to seed 1, sharing one
+        RNG stream; each must get its own deterministic stream."""
+        from repro.experiments.common import default_seed
+        from repro.workloads.profiles import PROFILES
+        seeds = {b: default_seed(RunSpec("CD", alone_benchmark=b))
+                 for b in PROFILES}
+        assert len(set(seeds.values())) == len(PROFILES)
+        # stable across calls/processes (CRC, not salted hash)
+        assert seeds == {b: default_seed(RunSpec("CD", alone_benchmark=b))
+                         for b in PROFILES}
+
+    def test_explicit_seed_and_mix_seed_still_win(self):
+        from repro.experiments.common import default_seed
+        assert default_seed(RunSpec("CD", mix_id=7)) == 7
+        assert default_seed(RunSpec("CD", mix_id=7, seed=42)) == 42
+        assert default_seed(
+            RunSpec("CD", alone_benchmark="mcf", seed=9)) == 9
+
+    def test_workload_specs_get_distinct_seeds(self):
+        from repro.experiments.common import default_seed
+        a = default_seed(RunSpec("DCA", workload="adversarial_conflict"))
+        b = default_seed(RunSpec("DCA", workload="adversarial_writeback"))
+        assert a != b
+
+    def test_seed_follows_benchmarks_precedence(self):
+        """The seed derives from the field that supplies the benchmarks
+        (alone_benchmark > workload > mix_id, like benchmarks())."""
+        from repro.experiments.common import default_seed
+        combined = RunSpec("DCA", workload="adversarial_conflict", mix_id=1)
+        assert default_seed(combined) == default_seed(
+            RunSpec("DCA", workload="adversarial_conflict"))
+        assert default_seed(combined) != 1
+
+
 class TestRunnerCLI:
     def test_all_ids_registered(self):
         expected = {"table1", "table2"} | {f"fig{n:02d}" for n in range(8, 20)}
         assert set(MODULES) == expected
+
+    def test_measure_zero_rejected(self, capsys):
+        """`if args.measure:` silently ignored --measure 0; it now errors."""
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit) as exc_info:
+            main(["table1", "--measure", "0"])
+        assert exc_info.value.code == 2
+        assert "--measure" in capsys.readouterr().err
+
+    def test_measure_negative_rejected(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["table1", "--measure", "-5"])
+
+    def test_mixes_out_of_range_rejected(self, capsys):
+        """--mixes 0 used to yield an empty grid that 'passed', and
+        --mixes 40 was clamped to 30 without a word; both now error."""
+        from repro.experiments.runner import main
+        for bad in ("0", "31", "-3"):
+            with pytest.raises(SystemExit) as exc_info:
+                main(["table1", "--mixes", bad])
+            assert exc_info.value.code == 2
+        assert "--mixes" in capsys.readouterr().err
+
+    def test_measure_applied(self, tmp_path, monkeypatch):
+        from repro.experiments import runner
+        captured = {}
+
+        def fake_run_experiment(exp_id, params, mixes, jobs, out_dir,
+                                use_cache=True):
+            captured["params"] = params
+            captured["mixes"] = mixes
+            return True
+
+        monkeypatch.setattr(runner, "run_experiment", fake_run_experiment)
+        rc = runner.main(["table1", "--measure", "12345", "--mixes", "2",
+                          "--out", str(tmp_path)])
+        assert rc == 0
+        assert captured["params"].measure_insts == 12345
+        assert captured["mixes"] == [1, 2]
 
     def test_parser_defaults(self):
         args = build_parser().parse_args(["fig08"])

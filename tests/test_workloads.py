@@ -1,11 +1,19 @@
-"""Benchmark profiles, trace generation, Table I."""
+"""Benchmark profiles, trace generation, Table I, workload scenarios."""
 
 import dataclasses
 
 import pytest
 
-from repro.workloads.generator import make_trace
+from repro.workloads.generator import BLOCK, make_trace
 from repro.workloads.profiles import PROFILES, BenchmarkProfile, profile
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ConflictProfile,
+    PhasedProfile,
+    TraceFileWorkload,
+    workload_names,
+    workload_profiles,
+)
 from repro.workloads.table1 import TABLE1_MIXES, all_mix_ids, mix_name, mix_profiles
 
 
@@ -112,6 +120,43 @@ class TestTraceGenerator:
         # few distinct PCs: streams + the random-access pool
         assert len(pcs) <= 2 + 8
 
+    def test_more_streams_than_blocks_does_not_crash(self):
+        """Tiny scaled footprints used to hit randrange(0): the integer
+        segment width footprint_blocks // n_streams went to zero."""
+        p = BenchmarkProfile("x", l2_apki=10, store_fraction=0.1,
+                             seq_fraction=1.0, num_streams=2000,
+                             footprint_mb=0.01)
+        t = make_trace(p, seed=1)   # floor clamps footprint to 1024 blocks
+        for _ in range(3000):
+            _, addr, _, _ = next(t)
+            assert 0 <= addr < 1024 * BLOCK
+
+    def test_walkers_cover_tail_blocks(self):
+        """Sequential walkers must reach the blocks past
+        n_streams * (footprint_blocks // n_streams), which the truncating
+        partition stranded (only random accesses could touch them)."""
+        p = BenchmarkProfile("x", l2_apki=10, store_fraction=0.0,
+                             seq_fraction=1.0, num_streams=3,
+                             footprint_mb=1025 * 64 / 2**20,  # 1025 blocks
+                             jump_prob=0.05)
+        t = make_trace(p, seed=3)
+        # 1025 // 3 = 341 -> old partition could never touch block 1024
+        tail = 3 * (1025 // 3)
+        seen = {next(t)[1] // BLOCK for _ in range(60_000)}
+        assert any(b >= tail for b in seen), "tail blocks unreachable"
+        # walkers also stay inside the footprint
+        assert max(seen) < 1025
+
+    def test_partition_covers_whole_footprint(self):
+        """With pure sequential traffic every block is some walker's."""
+        p = BenchmarkProfile("x", l2_apki=200, store_fraction=0.0,
+                             seq_fraction=1.0, num_streams=4,
+                             footprint_mb=1030 * 64 / 2**20,
+                             jump_prob=0.0)
+        t = make_trace(p, seed=5)
+        seen = {next(t)[1] // BLOCK for _ in range(40_000)}
+        assert seen == set(range(1030))
+
 
 class TestTable1:
     def test_thirty_mixes(self):
@@ -139,3 +184,168 @@ class TestTable1:
         for names in TABLE1_MIXES.values():
             for n in names:
                 assert n in PROFILES
+
+
+class TestPhasedProfile:
+    def phased(self, accesses=50):
+        return PhasedProfile("ph", (profile("libquantum"), profile("mcf")),
+                             phase_accesses=accesses)
+
+    def test_protocol_surface(self):
+        p = self.phased()
+        assert p.name == "ph"
+        assert p.footprint_bytes == max(profile("libquantum").footprint_bytes,
+                                        profile("mcf").footprint_bytes)
+        assert 0.0 < p.store_fraction < 1.0
+
+    def test_deterministic(self):
+        t1 = self.phased().make_trace(seed=4)
+        t2 = self.phased().make_trace(seed=4)
+        assert [next(t1) for _ in range(400)] == [next(t2) for _ in range(400)]
+
+    def test_phases_alternate_behaviour(self):
+        """Inside a streaming phase accesses stride sequentially; inside
+        the pointer-chase phase they mostly don't."""
+        t = self.phased(accesses=500).make_trace(seed=1)
+        def seq_share(n):
+            prev, seq = None, 0
+            for _ in range(n):
+                _, addr, _, _ = next(t)
+                if prev is not None and addr - prev == 64:
+                    seq += 1
+                prev = addr
+            return seq / n
+        stream_phase = seq_share(500)
+        chase_phase = seq_share(500)
+        assert stream_phase > 0.6
+        assert chase_phase < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedProfile("x", ())
+        with pytest.raises(ValueError):
+            PhasedProfile("x", (profile("mcf"),), phase_accesses=0)
+
+
+class TestConflictProfile:
+    def test_rows_rotate_per_slot(self):
+        p = ConflictProfile("adv", banks_touched=4, rows_per_bank=2)
+        t = p.make_trace(seed=1)
+        slot_rows = {}
+        for _ in range(64):
+            _, addr, _, _ = next(t)
+            slot = (addr % p.row_stride_bytes) // p.bank_stride_bytes
+            row = addr // p.row_stride_bytes
+            slot_rows.setdefault(slot, set()).add(row)
+        assert set(slot_rows) == {0, 1, 2, 3}
+        assert all(rows == {0, 1} for rows in slot_rows.values())
+
+    def test_footprint_scale_does_not_bend_pattern(self):
+        p = ConflictProfile("adv")
+        ta = p.make_trace(seed=2)
+        tb = p.make_trace(seed=2, footprint_scale=1 / 20)
+        assert [next(ta)[1] for _ in range(10)] == \
+            [next(tb)[1] for _ in range(10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConflictProfile("x", rows_per_bank=1)
+
+    def test_prefill_covers_all_rows_unscaled(self):
+        """The trace ignores capacity scaling, so the warm set must too:
+        every (slot, row) block is prefilled, deterministically."""
+        p = ConflictProfile("adv", banks_touched=4, rows_per_bank=2)
+        blocks = p.prefill_blocks()
+        assert blocks == p.prefill_blocks()   # deterministic
+        assert len(blocks) == 4 * 2 * (p.bank_stride_bytes // 64)
+        rows = {addr // p.row_stride_bytes for addr, _ in blocks}
+        assert rows == {0, 1}
+        assert any(d for _, d in blocks) and not all(d for _, d in blocks)
+
+
+class TestTraceFileWorkload:
+    def write_trace(self, tmp_path, lines):
+        path = tmp_path / "t.trace"
+        path.write_text("\n".join(lines))
+        return TraceFileWorkload(str(path))
+
+    def test_parse_and_replay_cycles(self, tmp_path):
+        w = self.write_trace(tmp_path, [
+            "# comment", "", "10 0x1000 r 0x400", "5 4096 w", "0 0x40 1",
+        ])
+        assert w.name == "t"
+        assert w.store_fraction == pytest.approx(2 / 3)
+        # distinct blocks touched (0x1000 and 4096 share one), not span
+        assert w.footprint_bytes == 2 * 64
+        t = w.make_trace()
+        first = [next(t) for _ in range(3)]
+        assert first == [(10, 0x1000, False, 0x400),
+                         (5, 4096, True, 0x700000),
+                         (0, 0x40, True, 0x700000)]
+        assert [next(t) for _ in range(3)] == first   # cyclic
+
+    def test_seed_rotates_start_and_offset_applies(self, tmp_path):
+        w = self.write_trace(tmp_path, ["1 0 r", "2 64 r", "3 128 r"])
+        t = w.make_trace(seed=1, core_offset=1 << 20)
+        assert next(t) == (2, (1 << 20) + 64, False, 0x700000)
+
+    def test_malformed_lines_rejected(self, tmp_path):
+        for bad in (["xyz"], ["1 2"], ["1 0x10 q"], ["-1 64 r"]):
+            w = self.write_trace(tmp_path, bad)
+            with pytest.raises(ValueError, match="trace|malformed|negative"):
+                w.make_trace()
+
+    def test_empty_trace_rejected(self, tmp_path):
+        w = self.write_trace(tmp_path, ["# only a comment"])
+        with pytest.raises(ValueError, match="no accesses"):
+            w.make_trace()
+
+    def test_full_virtual_addresses_rejected(self, tmp_path):
+        """Un-rebased userspace addresses would alias across the per-core
+        2^44 windows (and their span would explode the prefill)."""
+        w = self.write_trace(tmp_path, ["1 0x7f0000000000 r"])
+        with pytest.raises(ValueError, match="rebase"):
+            w.make_trace()
+
+    def test_sparse_trace_footprint_stays_bounded(self, tmp_path):
+        """footprint_bytes counts distinct blocks, not the address span:
+        a sparse trace must not size a terabyte-scale prefill."""
+        w = self.write_trace(tmp_path, [f"1 {i << 30} r" for i in range(8)])
+        assert w.footprint_bytes == 8 * 64
+
+    def test_prefill_blocks_exact_set_with_dirty_bits(self, tmp_path):
+        """The warm-up seeds exactly the touched blocks (a contiguous
+        fill from the core base would warm blocks the trace never
+        visits), dirty iff the trace ever writes the block."""
+        w = self.write_trace(tmp_path, [
+            "1 0x40000000 r", "1 0x40000010 w", "1 128 r",
+        ])
+        assert w.prefill_blocks() == [(128, False), (0x40000000, True)]
+
+
+class TestScenarioRegistry:
+    def test_registered_scenarios_resolve(self):
+        for name in workload_names():
+            profs = workload_profiles(name)
+            assert len(profs) == 4
+            for p in profs:
+                assert p.name and p.footprint_bytes > 0
+                assert 0.0 <= p.store_fraction <= 1.0
+                next(p.make_trace(seed=1))   # protocol: stream works
+
+    def test_trace_prefix_resolves(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text("1 0 r\n")
+        (w,) = workload_profiles(f"trace:{path}")
+        assert isinstance(w, TraceFileWorkload)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_profiles("nope")
+        with pytest.raises(ValueError, match="file path"):
+            workload_profiles("trace:")
+
+    def test_scenarios_are_registered(self):
+        assert {"phased_stream_chase", "adversarial_writeback",
+                "adversarial_conflict", "conflict_vs_streams"} <= \
+            set(SCENARIOS)
