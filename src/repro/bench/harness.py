@@ -60,6 +60,63 @@ def run_end_to_end(quick: bool = False, jobs: int = 1) -> dict:
     }
 
 
+def run_warm_reuse(quick: bool = False, jobs: int = 1) -> dict:
+    """Cold vs. warm-cache wall clock on a fig08-style multi-design grid.
+
+    The grid crosses every controller design with both underlying
+    schedulers (six design points per mix), which is exactly the shape
+    the warm-state cache targets: one functional warm-up per (mix,
+    substrate) group, five forks.  After both runs the two result sets
+    are checked bit-identical (modulo ``meta``, which records
+    provenance) and a mismatch **raises** — a speedup from a warm cache
+    that bends results would be worthless, so it must never be recorded
+    as a BENCH headline.
+    """
+    mixes = [1] if quick else [1, 2]
+    specs = [RunSpec(d, "sa", mix_id=m, scheduler=s)
+             for m in mixes for d in DESIGNS for s in ("bliss", "frfcfs")]
+    params = SimParams.quick()
+
+    def timed(warm: bool) -> tuple[float, dict]:
+        store = ResultStore(enabled=False)
+        t0 = time.perf_counter()
+        results = run_grid(specs, params, jobs=jobs, use_cache=False,
+                           store=store, warm_cache=warm)
+        return time.perf_counter() - t0, results
+
+    cold_s, cold = timed(False)
+    warm_s, warm = timed(True)
+
+    def comparable(results: dict) -> dict:
+        out = {}
+        for spec, res in results.items():
+            d = res.to_cache_dict()
+            d.pop("meta")
+            out[spec] = d
+        return out
+
+    identical = comparable(cold) == comparable(warm)
+    if not identical:
+        raise RuntimeError(
+            "warm-cache results diverged from cold execution — the warm "
+            "reuse speedup is meaningless; fix the bit-identity regression "
+            "(tests/test_warm_cache.py) before benchmarking")
+    restored = sum(1 for r in warm.values()
+                   if r.meta.get("warm", {}).get("restored"))
+    return {
+        "points": len(specs),
+        "design_points_per_mix": len(DESIGNS) * 2,
+        "mixes": mixes,
+        "jobs": jobs,
+        "params": "quick",
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 3) if warm_s else 0.0,
+        "warm_restored_points": restored,
+        "identical_results": identical,
+    }
+
+
 def run_perf(quick: bool = False, label: str = "dev",
              out_dir: Path = Path("."), end_to_end: bool = True,
              jobs: int = 1, seed: int = 0) -> Path:
@@ -76,6 +133,7 @@ def run_perf(quick: bool = False, label: str = "dev",
     }
     if end_to_end:
         payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
+        payload["warm_reuse"] = run_warm_reuse(quick=quick, jobs=jobs)
     return atomic_write_json(Path(out_dir) / f"BENCH_{label}.json", payload)
 
 
@@ -112,6 +170,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         e = data["end_to_end"]
         print(f"  end-to-end: {e['points']} points in {e['wall_s']:.1f}s "
               f"({e['dram_accesses_per_s']:.0f} DRAM accesses/s)")
+    if "warm_reuse" in data:
+        w = data["warm_reuse"]
+        print(f"  warm reuse: {w['points']} points cold {w['cold_wall_s']:.1f}s"
+              f" -> warm {w['warm_wall_s']:.1f}s  x{w['speedup']:.2f}  "
+              f"(identical={w['identical_results']}, "
+              f"{w['warm_restored_points']} restored)")
     return 0
 
 

@@ -51,6 +51,182 @@ class _SASet:
         self.dirty: list[bool] = [False] * ways
         self.stamp: list[int] = [0] * ways   # LRU: larger = more recent
 
+    def clone(self) -> "_SASet":
+        s = _SASet.__new__(_SASet)
+        s.tags = self.tags[:]
+        s.dirty = self.dirty[:]
+        s.stamp = self.stamp[:]
+        return s
+
+    def __deepcopy__(self, memo: dict) -> "_SASet":
+        # Elements are scalars: a slice copy is semantically identical to
+        # the generic element-wise deepcopy and ~4x faster, which is what
+        # bounds full-simulator snapshot cost (the set dict dominates).
+        s = self.clone()
+        memo[id(self)] = s
+        return s
+
+
+class _CowSets(dict):
+    """Copy-on-access overlay over a frozen ``{set_idx: _SASet}`` backing.
+
+    Warm-state forking hands the *same* captured set dictionary to every
+    restored simulation; copying all of it eagerly would cost more than
+    the functional warm-up it replaces for large footprints.  Instead the
+    restored array starts with an empty overlay: any set it touches is
+    cloned out of the backing on first access, so the restore is O(1) and
+    each run pays only for the sets its traffic actually reaches.
+
+    The backing dict is frozen by contract — it is only ever produced by
+    :meth:`DRAMCacheArray.capture_state`, which simultaneously re-points
+    the donor array at its own fresh overlay, so no live array can mutate
+    a backing.  All reads go through :meth:`get`/``[]`` (the only lookup
+    forms the array uses), both of which materialise; new sets insert
+    straight into the overlay.
+    """
+
+    __slots__ = ("_backing",)
+
+    def __init__(self, backing: dict):
+        super().__init__()
+        self._backing = backing
+
+    # -- lookups (materialising) ------------------------------------------------
+
+    def get(self, key, default=None):
+        s = dict.get(self, key)
+        if s is not None:
+            return s
+        b = self._backing.get(key)
+        if b is None:
+            return default
+        s = b.clone()
+        dict.__setitem__(self, key, s)
+        return s
+
+    def __getitem__(self, key):
+        s = self.get(key)
+        if s is None:
+            raise KeyError(key)
+        return s
+
+    def __contains__(self, key) -> bool:
+        return dict.__contains__(self, key) or key in self._backing
+
+    # -- whole-dict views (tests / invariants; not on the hot path) -------------
+    #
+    # Every inherited dict form that would silently see only the overlay
+    # is either overridden to present the merged view or forbidden, so
+    # the "all reads go through get/[]" contract is enforced, not merely
+    # documented.
+
+    def __len__(self) -> int:
+        n = dict.__len__(self)
+        return n + sum(1 for k in self._backing if not dict.__contains__(self, k))
+
+    def __iter__(self):
+        yield from dict.__iter__(self)
+        for k in self._backing:
+            if not dict.__contains__(self, k):
+                yield k
+
+    def keys(self):
+        """Merged key list (a plain list, not a live dict view)."""
+        return list(self)
+
+    def items(self):
+        """Merged ``(key, set)`` pairs; materialises backing sets."""
+        return [(k, self[k]) for k in self]
+
+    def values(self):
+        return [self[k] for k in self]
+
+    def copy(self) -> dict:
+        """A plain, fully-independent dict of the merged view."""
+        return self.frozen_merge()
+
+    def __eq__(self, other) -> bool:
+        """Value equality over the merged view (sets compared by content,
+        since ``_SASet`` itself compares by identity)."""
+        if not isinstance(other, dict):
+            return NotImplemented
+
+        def contents(items):
+            return {k: (tuple(s.tags), tuple(s.dirty), tuple(s.stamp))
+                    for k, s in items}
+
+        other_items = (other.peek_items() if isinstance(other, _CowSets)
+                       else other.items())
+        return contents(self.peek_items()) == contents(other_items)
+
+    __hash__ = None   # as for any dict
+
+    def __ne__(self, other) -> bool:
+        # Explicit: dict's C-level != would bypass the merged-view __eq__.
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def _unsupported(self, *_a, **_kw):
+        raise NotImplementedError(
+            "mutation of a copy-on-write set view beyond get/[]= is not "
+            "supported (see _CowSets)")
+
+    pop = popitem = setdefault = update = clear = __delitem__ = _unsupported
+
+    def peek(self, key):
+        """Read-only lookup: never materialises a backing set.
+
+        The returned set may belong to the frozen backing — callers must
+        not mutate it (mutating paths go through :meth:`get`/``[]``,
+        which clone).  Keeps pure reads like ``probe()`` from converging
+        a mostly-read fork toward a full copy.
+        """
+        s = dict.get(self, key)
+        if s is not None:
+            return s
+        return self._backing.get(key)
+
+    def peek_items(self):
+        """Iterate the merged view *without* materialising backing sets.
+
+        For read-only inspection (signatures, invariants): yielded backing
+        sets must not be mutated.
+        """
+        yield from dict.items(self)
+        for k, b in self._backing.items():
+            if not dict.__contains__(self, k):
+                yield k, b
+
+    def frozen_merge(self) -> dict:
+        """A plain, independent ``{set_idx: _SASet}`` copy of the full view.
+
+        Used to produce a new frozen backing when a warm capture is taken
+        from an array that is itself running over an older backing.
+        """
+        out = {k: s.clone() for k, s in dict.items(self)}
+        for k, b in self._backing.items():
+            if k not in out:
+                out[k] = b.clone()
+        return out
+
+    def __deepcopy__(self, memo: dict) -> "_CowSets":
+        # The backing is frozen, so the copy may share it; only the
+        # overlay (this run's private mutations) needs copying.
+        new = _CowSets(self._backing)
+        memo[id(self)] = new
+        for k, s in dict.items(self):
+            dict.__setitem__(new, k, s.clone())
+        return new
+
+    def __reduce__(self):
+        # Pickled snapshots are process-portable plain dicts: sharing a
+        # backing across a process boundary is meaningless.
+        return (_cow_sets_from_plain, (self.frozen_merge(),))
+
+
+def _cow_sets_from_plain(sets: dict) -> "_CowSets":
+    return _CowSets(sets)
+
 
 class DRAMCacheArray:
     """Functional contents of the DRAM cache.
@@ -102,7 +278,12 @@ class DRAMCacheArray:
             if ent is not None and ent[0] == self.dm.tag_value(b):
                 return LookupResult(True, 0, ent[1])
             return LookupResult(False)
-        s = self._sa_sets.get(self.sa.set_index(b))
+        sets = self._sa_sets
+        # A pure read must stay pure on a restored (copy-on-write) array
+        # too: peek never materialises, so probes don't converge a
+        # mostly-read fork toward a full copy.
+        s = (sets.peek(self.sa.set_index(b)) if type(sets) is _CowSets
+             else sets.get(self.sa.set_index(b)))
         if s is None:
             return LookupResult(False)
         tag = self.sa.tag_value(b)
@@ -280,6 +461,67 @@ class DRAMCacheArray:
                     s.stamp[w], s.tags[w], s.dirty[w] = merged[w]
                 else:
                     s.tags[w], s.dirty[w], s.stamp[w] = -1, False, 0
+
+    # -- snapshot hooks (see repro/snapshot.py and DESIGN.md) -------------------
+
+    def contents_signature(self) -> tuple:
+        """Value-only digest of the functional contents (snapshot tests).
+
+        Deterministically ordered and identity-free, so signatures of
+        independent copies compare equal iff the contents match; never
+        materialises copy-on-write sets.
+        """
+        if self.is_direct_mapped:
+            return ("dm", self._clock, sorted(self._dm_entries.items()))
+        sets = self._sa_sets
+        items = (sets.peek_items() if isinstance(sets, _CowSets)
+                 else sets.items())
+        return ("sa", self._clock,
+                sorted((k, tuple(s.tags), tuple(s.dirty), tuple(s.stamp))
+                       for k, s in items))
+
+    def capture_state(self) -> dict:
+        """Freeze the functional contents for warm-state forking.
+
+        Returns a state dict whose set-associative backing is *shared*
+        with this array: the array is simultaneously re-pointed at a
+        fresh copy-on-write overlay (:class:`_CowSets`), so the donor may
+        keep simulating while any number of restored arrays fork from the
+        frozen image — capture is O(1) in the set-associative case.
+        Direct-mapped entries are immutable tuples, so a plain dict copy
+        suffices there.
+        """
+        state = {"organization": self.organization, "clock": self._clock}
+        if self.is_direct_mapped:
+            state["dm"] = dict(self._dm_entries)
+        else:
+            sets = self._sa_sets
+            if isinstance(sets, _CowSets):
+                backing = sets.frozen_merge()
+            else:
+                backing = sets
+            self._sa_sets = _CowSets(backing)
+            state["sa"] = backing
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt functional contents captured by :meth:`capture_state`.
+
+        The restored array reads through to the frozen image and copies
+        individual sets on first touch; the image itself is never
+        mutated, so one capture serves any number of restores and each
+        restored run is bit-identical to a run that did the functional
+        warm-up itself.
+        """
+        if state["organization"] != self.organization:
+            raise ValueError(
+                f"cannot restore {state['organization']!r} array state into "
+                f"a {self.organization!r} array")
+        self._clock = state["clock"]
+        if self.is_direct_mapped:
+            self._dm_entries = dict(state["dm"])
+        else:
+            self._sa_sets = _CowSets(state["sa"])
 
     def _touch(self, addr: int, way: int) -> None:
         if self.is_direct_mapped:

@@ -56,14 +56,21 @@ class Translator:
     def __init__(self, array: DRAMCacheArray, mapper: AddressMapper):
         self.array = array
         self.mapper = mapper
+        # Per-system access age counter (the schedulers' final tiebreak).
+        # Owned here — not by the Access class — so it travels with the
+        # simulation through snapshot capture/restore and two live
+        # simulations never interleave their sequence numbers.
+        self._seq = 0
 
     # -- access construction ----------------------------------------------------
 
     def _make(self, role: AccessRole, req: CacheRequest, array_addr: int,
               now: int, critical: bool = True) -> Access:
         d = self.mapper.decode(array_addr)
+        self._seq += 1
         return Access(role, req, d.channel, d.rank, d.bank, d.row, d.col,
-                      self.mapper.global_bank(d), now, critical=critical)
+                      self.mapper.global_bank(d), now, critical=critical,
+                      seq=self._seq)
 
     # -- stage 1 ------------------------------------------------------------------
 

@@ -101,7 +101,7 @@ class Access:
                  channel: int, rank: int, bank: int, row: int, col: int,
                  global_bank: int, arrival: int,
                  on_complete: Optional[Callable[["Access", int], None]] = None,
-                 critical: bool = True):
+                 critical: bool = True, seq: Optional[int] = None):
         self.role = role
         self.request = request
         self.channel = channel
@@ -111,8 +111,15 @@ class Access:
         self.col = col
         self.global_bank = global_bank
         self.arrival = arrival
-        Access._seq += 1
-        self.seq = Access._seq            # global age tiebreak for schedulers
+        if seq is None:
+            # Convenience fallback for hand-built accesses (tests, perf
+            # benches).  The simulator proper always passes an explicit
+            # seq from the per-system Translator counter: a class-global
+            # here would be hidden state that snapshot capture/restore
+            # could not make bit-faithful (see repro/snapshot.py).
+            Access._seq += 1
+            seq = Access._seq
+        self.seq = seq                    # age tiebreak for schedulers
         # Flattened from the owning request: the scheduler inner loop reads
         # this per candidate, and a slot is much cheaper than a property.
         self.core_id = request.core_id

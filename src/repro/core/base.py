@@ -160,8 +160,10 @@ class BaseController:
                     # MAP-I: probe main memory in parallel with the tag read.
                     req.meta["probing"] = True
                     st.memory_fetches += 1
-                    self.mainmem.fetch(
-                        req.addr, lambda _addr, r=req: self._mem_fetch_done(r))
+                    # Bound method + request arg, not a closure: scheduled
+                    # callbacks must survive snapshot capture (see
+                    # MainMemory.fetch and repro/snapshot.py).
+                    self.mainmem.fetch(req.addr, self._mem_fetch_done, req)
         elif req.rtype == RequestType.WRITEBACK:
             st.writebacks_submitted += 1
             self._pending_writes[req.addr] = req
@@ -387,8 +389,7 @@ class BaseController:
                     # else: the in-flight fetch will complete the request.
                 else:
                     st.memory_fetches += 1
-                    self.mainmem.fetch(
-                        req.addr, lambda _addr, r=req: self._mem_fetch_done(r))
+                    self.mainmem.fetch(req.addr, self._mem_fetch_done, req)
             return
 
         # Writeback / refill.

@@ -38,6 +38,7 @@ from repro.sim.system import (
     System,
     SystemResult,
 )
+from repro.snapshot import WARM_STATE_VERSION, WarmCache
 from repro.workloads.profiles import PROFILES, profile
 from repro.workloads.scenarios import workload_profiles
 from repro.workloads.table1 import TABLE1_MIXES, mix_profiles
@@ -163,31 +164,139 @@ def default_seed(spec: RunSpec) -> int:
     return 1 + zlib.crc32(spec.design.encode()) % 1_000_003
 
 
-def run_one(spec: RunSpec, params: SimParams) -> SystemResult:
-    """Execute one simulation point (safe to call in a worker process)."""
+def resolved_config(spec: RunSpec, params: SimParams):
+    """The :class:`SystemConfig` a spec actually simulates with."""
     cfg = scaled_config(params.capacity_scale)
     if spec.config:
         # Resolve the per-design queue defaults first so queue overrides
         # refine them (the controller honours explicit queues; see
         # SystemConfig.with_overrides / BaseController.__init__).
         cfg = cfg.with_queues_for(spec.design).with_overrides(spec.config)
-    seed = default_seed(spec)
-    system = System(
-        cfg, spec.design, spec.benchmarks(),
+    return cfg
+
+
+def build_system(spec: RunSpec, params: SimParams) -> System:
+    """Construct (but do not run) the system a spec describes."""
+    return System(
+        resolved_config(spec, params), spec.design, spec.benchmarks(),
         organization=spec.organization, xor_remap=spec.xor_remap,
         use_mapi=spec.use_mapi, scheduler=spec.scheduler,
-        lee_writeback=spec.lee_writeback, seed=seed,
+        lee_writeback=spec.lee_writeback, seed=default_seed(spec),
         footprint_scale=params.footprint_scale)
-    result = system.run(warmup_insts=params.warmup_insts,
-                        measure_insts=params.measure_insts,
-                        replay_accesses=params.replay_accesses)
+
+
+def warm_group_key(spec: RunSpec, params: SimParams) -> str:
+    """Warm-state cache key: the run prefix that shapes the warm-up.
+
+    Hashes exactly the inputs the functional warm-up depends on — the
+    workload (mix/scenario/alone target + trace-file content token), the
+    resolved trace seed, the footprint scaling, the replay budget, the
+    cache organization/lee mode and the DRAM-cache + L2 geometries —
+    while **masking every controller-relevant field** (design, scheduler,
+    MAP-I, XOR remap, queue/timing/main-memory configuration): specs that
+    differ only in those share one warm state, which is what lets a
+    multi-design sweep warm up once per (mix, substrate) group.
+
+    KEEP IN SYNC: this input list mirrors the identity fields of
+    :class:`repro.snapshot.WarmState` (captured by
+    ``System.capture_warm_state``, compared by ``restore_warm_state``).
+    A warm-relevant input added to one and not the others silently
+    breaks the bit-identity guarantee — the CI ``snapshot-smoke`` job's
+    warm-vs-cold comparison is the backstop.
+    """
+    cfg = resolved_config(spec, params)
+    payload = json.dumps(
+        [WARM_STATE_VERSION,
+         spec.organization, bool(spec.lee_writeback),
+         spec.mix_id, spec.workload, spec.alone_benchmark,
+         _workload_content_token(spec.workload),
+         default_seed(spec),
+         params.footprint_scale, params.replay_accesses,
+         dataclasses.asdict(cfg.dram_cache), dataclasses.asdict(cfg.l2)],
+        sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def run_one(spec: RunSpec, params: SimParams,
+            warm_cache: Optional[WarmCache] = None) -> SystemResult:
+    """Execute one simulation point (safe to call in a worker process).
+
+    With a ``warm_cache``, the functional warm-up is served from (or
+    captured into) the cache under :func:`warm_group_key` — results are
+    bit-identical to a cold run either way (the warm-state invariant;
+    see repro/snapshot.py), only ``result.meta["warm"]`` records which
+    path ran.
+    """
+    system = build_system(spec, params)
+    warm_meta = None
+    if warm_cache is not None:
+        key = warm_group_key(spec, params)
+        warm = warm_cache.get(key)
+        if warm is None:
+            system.functional_warmup(replay_accesses=params.replay_accesses)
+            warm_cache.put(key, system.capture_warm_state())
+            result = system.run(warmup_insts=params.warmup_insts,
+                                measure_insts=params.measure_insts,
+                                functional_warmup=False)
+            warm_meta = {"key": key, "restored": False}
+        else:
+            # replay_accesses is passed alongside the warm state so the
+            # system re-asserts the state matches this params' replay
+            # budget (defence in depth on top of the warm key).
+            result = system.run(warmup_insts=params.warmup_insts,
+                                measure_insts=params.measure_insts,
+                                replay_accesses=params.replay_accesses,
+                                warm_state=warm)
+            warm_meta = {"key": key, "restored": True}
+    else:
+        result = system.run(warmup_insts=params.warmup_insts,
+                            measure_insts=params.measure_insts,
+                            replay_accesses=params.replay_accesses)
     spec_dict = dataclasses.asdict(spec)
     # JSON-canonical form: the config override pairs are tuples on the
     # spec (hashability) but lists on disk, so cache round-trips are
     # lossless (SystemResult equality included).
     spec_dict["config"] = [list(kv) for kv in spec.config]
     result.meta["spec"] = spec_dict
+    if warm_meta is not None:
+        result.meta["warm"] = warm_meta
     return result
+
+
+def _run_warm_group(specs: Sequence[RunSpec], params: SimParams) -> list:
+    """Run one warm group sequentially in this process, sharing warm state.
+
+    Returns ``[(spec, result_or_None, traceback_or_None), ...]`` —
+    failure isolation is per *point*: a crashed point neither kills its
+    group nor poisons the warm state the rest fork from.  The warm cache
+    is task-scoped: grouping puts every spec of a key into one task, so
+    a longer-lived cache could never see a hit from another task — it
+    would only pin the group's DRAM-cache/L2 images until pool shutdown.
+    """
+    return _run_batch(specs, params, WarmCache())
+
+
+def _run_cold_batch(specs: Sequence[RunSpec], params: SimParams) -> list:
+    """Run specs independently (no warm sharing); same result shape."""
+    return _run_batch(specs, params, None)
+
+
+def _run_batch(specs: Sequence[RunSpec], params: SimParams,
+               warm_cache: Optional[WarmCache]) -> list:
+    out = []
+    for spec in specs:
+        try:
+            # Keep the two-argument call on the cold path: run_one is a
+            # documented monkeypatch point for execution-flow tests.
+            if warm_cache is None:
+                result = run_one(spec, params)
+            else:
+                result = run_one(spec, params, warm_cache=warm_cache)
+        except Exception:
+            out.append((spec, None, traceback.format_exc()))
+        else:
+            out.append((spec, result, None))
+    return out
 
 
 # ---------------------------------------------------------------- result store
@@ -315,18 +424,47 @@ class GridExecutionError(RuntimeError):
         super().__init__("\n".join(lines))
 
 
+#: Process-wide default for ``run_grid(warm_cache=None)``; the CLIs set
+#: it from ``--warm-cache`` so the figure modules (which call ``run_grid``
+#: themselves) pick the flag up without 14 signature changes.
+_default_warm_cache = False
+
+
+def set_default_warm_cache(enabled: bool) -> None:
+    """Set the process-wide default for warm-state reuse in grids."""
+    global _default_warm_cache
+    _default_warm_cache = bool(enabled)
+
+
 def run_grid(specs: Sequence[RunSpec], params: SimParams,
              jobs: int = 0, use_cache: bool = True,
              progress: bool = False,
              cache_dir: Optional[Path] = None,
-             store: Optional[ResultStore] = None) -> dict[RunSpec, SystemResult]:
+             store: Optional[ResultStore] = None,
+             warm_cache: Optional[bool] = None) -> dict[RunSpec, SystemResult]:
     """Run many simulation points, with caching and multiprocessing.
 
     Results come back keyed in **input-spec order** whatever order the
     workers finish in.  A crashed point does not abort the rest: every
     other point still runs (and is stored), then a
     :class:`GridExecutionError` carrying all failures is raised.
+
+    With ``warm_cache`` (default: the process-wide flag set by
+    ``--warm-cache``), points sharing a warm-up prefix — same workload,
+    seed and substrate, any controller design — are grouped under
+    :func:`warm_group_key` and executed in one worker each: the first
+    point captures the functional warm state, the rest fork from it.
+    Results are bit-identical to cold runs; only wall-clock changes
+    (see BENCH warm_reuse and tests/test_warm_cache.py).  Note that with
+    ``jobs > 1`` a warm group is one pool task, so store/checkpoint
+    granularity coarsens from per point to per group and parallelism is
+    bounded by the number of *groups* — a single-mix multi-design sweep
+    is one group and runs sequentially (the warm win must beat the lost
+    parallelism; grids spanning several mixes keep both).  ``jobs=1``
+    keeps per-point streaming.
     """
+    if warm_cache is None:
+        warm_cache = _default_warm_cache
     if store is None:
         store = ResultStore(cache_dir, enabled=use_cache)
     done: dict[RunSpec, SystemResult] = {}
@@ -343,39 +481,89 @@ def run_grid(specs: Sequence[RunSpec], params: SimParams,
         else:
             todo.append(spec)
 
-    def record(i: int, spec: RunSpec, result: SystemResult) -> None:
-        done[spec] = result
-        store.store(spec, params, result)
-        if progress:
-            print(f"  [{i + 1}/{len(todo)}] {spec.label()} done", flush=True)
+    completed = 0
 
-    if todo:
-        if jobs <= 0:
-            jobs = min(8, os.cpu_count() or 1)
+    def record(spec: RunSpec, result: SystemResult) -> None:
+        nonlocal completed
+        completed += 1
+        done[spec] = result
+        # Warm/cold runs share cache entries (results are bit-identical),
+        # so the *stored* form must not carry this run's warm provenance:
+        # a later cache hit would replay stale restored/cold flags.  The
+        # in-memory result keeps them for this run's reporting.
+        if "warm" in result.meta:
+            stored = dataclasses.replace(
+                result, meta={k: v for k, v in result.meta.items()
+                              if k != "warm"})
+        else:
+            stored = result
+        store.store(spec, params, stored)
+        if progress:
+            print(f"  [{completed}/{len(todo)}] {spec.label()} done",
+                  flush=True)
+
+    # The unit of work: single specs normally, whole warm groups (in
+    # warm-key order of first appearance) under warm_cache.
+    if warm_cache:
+        groups: dict[str, list[RunSpec]] = {}
+        for i, spec in enumerate(todo):
+            try:
+                key = warm_group_key(spec, params)
+            except Exception:
+                # Malformed spec (e.g. unknown design with overrides):
+                # keep the failure-isolation promise — give it its own
+                # group so the error surfaces as that point's failure in
+                # the worker, not as a grid-wide crash here.
+                key = f"_unkeyable_{i}"
+            groups.setdefault(key, []).append(spec)
+        batches = list(groups.values())
+    else:
+        batches = [[spec] for spec in todo]
+
+    def absorb(batch_results: list) -> None:
         # Only the simulation itself is failure-isolated; a store/report
         # error is an infrastructure problem and propagates as itself
         # (guarding record() too would book one spec as both a success
         # and a failure).
-        if jobs == 1 or len(todo) == 1:
-            for i, spec in enumerate(todo):
-                try:
-                    result = run_one(spec, params)
-                except Exception:
-                    failures[spec] = traceback.format_exc()
-                    continue
-                record(i, spec, result)
+        for spec, result, tb in batch_results:
+            if tb is not None:
+                failures[spec] = tb
+            else:
+                record(spec, result)
+
+    if todo:
+        if jobs <= 0:
+            jobs = min(8, os.cpu_count() or 1)
+        if jobs == 1 or len(batches) == 1:
+            # Sequential: stream point by point (checkpoint granularity
+            # stays per *point* even under warm grouping — the batches
+            # only order capture before forks).  The warm cache is
+            # call-scoped, so captured states are released with the grid
+            # instead of pinned in the calling process.
+            grid_warm = WarmCache() if warm_cache else None
+            for batch in batches:
+                for spec in batch:
+                    absorb(_run_batch([spec], params, grid_warm))
         else:
+            # Pooled: one task per batch.  Under warm grouping a batch is
+            # a whole warm group, so checkpoint granularity is per group
+            # here (a killed run re-simulates at most one group's tail).
+            worker = _run_warm_group if warm_cache else _run_cold_batch
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {pool.submit(run_one, spec, params): spec
-                           for spec in todo}
-                for i, fut in enumerate(as_completed(futures)):
-                    spec = futures[fut]
+                futures = {pool.submit(worker, batch, params): batch
+                           for batch in batches}
+                for fut in as_completed(futures):
+                    batch = futures[fut]
                     try:
-                        result = fut.result()
+                        batch_results = fut.result()
                     except Exception:
-                        failures[spec] = traceback.format_exc()
-                        continue
-                    record(i, spec, result)
+                        # Worker-level death (broken pool, unpicklable
+                        # result): book every spec of the batch as a
+                        # point failure so the rest of the grid still
+                        # completes and reports.
+                        tb = traceback.format_exc()
+                        batch_results = [(spec, None, tb) for spec in batch]
+                    absorb(batch_results)
 
     # Deterministic ordering: follow the input sequence, not completion.
     out = {spec: done[spec] for spec in specs if spec in done}

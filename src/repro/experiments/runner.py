@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measured instructions per core")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and do not write the results cache")
+    p.add_argument("--warm-cache", action="store_true",
+                   help="share functional warm-up state across controller "
+                        "designs of the same (mix, substrate) group "
+                        "(bit-identical results; parallelism then spans "
+                        "groups, not points)")
     p.add_argument("--out", default="results",
                    help="output directory (default ./results)")
     return p
@@ -120,10 +125,18 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.out)
 
     all_ok = True
-    for exp_id in ids:
-        ok = run_experiment(exp_id, params, mixes, args.jobs, out_dir,
-                            use_cache=not args.no_cache)
-        all_ok = all_ok and ok
+    # The figure modules call run_grid themselves; the process-wide
+    # default is how the flag reaches them (see common.run_grid).  It is
+    # restored afterwards so a programmatic caller invoking main() does
+    # not silently change later run_grid calls in the same process.
+    common.set_default_warm_cache(args.warm_cache)
+    try:
+        for exp_id in ids:
+            ok = run_experiment(exp_id, params, mixes, args.jobs, out_dir,
+                                use_cache=not args.no_cache)
+            all_ok = all_ok and ok
+    finally:
+        common.set_default_warm_cache(False)
     return 0 if all_ok else 1
 
 

@@ -46,8 +46,15 @@ class MainMemory:
         self.stats.bus_busy_ps += self.cfg.bus_occupancy_ps
         return start
 
-    def fetch(self, addr: int, on_done: Callable[[int], None]) -> int:
+    def fetch(self, addr: int, on_done: Callable, arg=None) -> int:
         """Read one block; ``on_done(addr)`` fires when data returns.
+
+        ``arg`` replaces the address as the callback payload when given
+        (``on_done(arg)``), so callers can route the completion to a
+        request object with a plain bound method instead of a closure —
+        closures in the event heap are invisible to the snapshot layer
+        (deepcopy/pickle treat functions as atomic, so a captured closure
+        would keep pointing at the *donor* simulation's objects).
 
         Returns the completion time (useful for tests).
         """
@@ -55,7 +62,7 @@ class MainMemory:
         done = start + self.cfg.latency_ps
         self.stats.reads += 1
         self.stats.read_latency_sum_ps += done - self.sim.now
-        self.sim.at(done, on_done, addr)
+        self.sim.at(done, on_done, addr if arg is None else arg)
         return done
 
     def write(self, addr: int) -> int:

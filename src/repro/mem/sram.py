@@ -179,3 +179,29 @@ class SRAMCache:
     def dirty_count(self) -> int:
         """Number of dirty lines (O(cache); tests only)."""
         return sum(1 for s in self._sets.values() for e in s if e[1])
+
+    # -- snapshot hooks (see repro/snapshot.py and DESIGN.md) -------------------
+
+    def capture_state(self) -> dict:
+        """Independent copy of contents + LRU clock + dirty-row index.
+
+        SRAM caches are small (thousands of lines), so an eager copy is
+        cheap; the copy is fully detached — donor and restored caches
+        never share mutable structure.  Stats are *not* captured: every
+        warm-capture point in the system resets them anyway, and the
+        full-snapshot path copies the live object graph wholesale.
+        """
+        return {
+            "sets": {k: [e[:] for e in v] for k, v in self._sets.items()},
+            "clock": self._clock,
+            "dirty_rows": {row: set(blocks)
+                           for row, blocks in self._dirty_rows.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt contents captured by :meth:`capture_state` (re-copied, so
+        one captured state serves any number of restores)."""
+        self._sets = {k: [e[:] for e in v] for k, v in state["sets"].items()}
+        self._clock = state["clock"]
+        self._dirty_rows = {row: set(blocks)
+                            for row, blocks in state["dirty_rows"].items()}

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and do not write the results cache "
                         "(disables resume)")
+    p.add_argument("--warm-cache", action="store_true",
+                   help="share functional warm-up state across points with "
+                        "the same (workload, substrate) prefix "
+                        "(bit-identical results; parallelism then spans "
+                        "warm groups, so single-mix sweeps run "
+                        "sequentially)")
     p.add_argument("--out", default="results/sweeps",
                    help="output directory (default ./results/sweeps)")
     p.add_argument("--dry-run", action="store_true",
@@ -168,7 +174,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     outcome = run_sweep(
         sweep, params, shard=args.shard, jobs=args.jobs,
         out_dir=Path(args.out), use_cache=not args.no_cache, progress=True,
-        points=points)
+        points=points, warm_cache=args.warm_cache)
 
     print(outcome.summary_table())
     print(f"  {outcome.counts_line()}  ({outcome.elapsed_s:.1f}s)")

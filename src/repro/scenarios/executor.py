@@ -154,7 +154,8 @@ def run_sweep(sweep: SweepSpec, params: SimParams,
               out_dir: Path = Path("results/sweeps"),
               cache_dir: Optional[Path] = None, use_cache: bool = True,
               progress: bool = False,
-              points: Optional[list[SweepPoint]] = None) -> SweepOutcome:
+              points: Optional[list[SweepPoint]] = None,
+              warm_cache: Optional[bool] = None) -> SweepOutcome:
     """Execute (or resume) one shard of a sweep; returns the outcome.
 
     Interruptions are safe at point granularity: each completed point is
@@ -167,6 +168,14 @@ def run_sweep(sweep: SweepSpec, params: SimParams,
     ``points`` lets a caller that already compiled the grid pass this
     shard's slice in (the CLI does), skipping a recompilation; it must
     equal ``sweep.shard_points(shard)``.
+
+    ``warm_cache`` shares the functional warm-up across points with the
+    same (workload, substrate) prefix — e.g. a design or scheduler axis
+    forks every value from one warm snapshot.  Results are bit-identical
+    to cold execution (see repro/snapshot.py); each point's
+    ``result.meta["warm"]`` records whether it was served from the warm
+    snapshot.  With ``jobs > 1`` checkpointing coarsens from per point
+    to per warm group (a group is one pool task; see ``run_grid``).
     """
     t0 = time.time()
     if points is None:
@@ -188,7 +197,8 @@ def run_sweep(sweep: SweepSpec, params: SimParams,
     failures: dict[RunSpec, str] = {}
     try:
         results = run_grid(specs, params, jobs=jobs, use_cache=use_cache,
-                           progress=progress, store=store)
+                           progress=progress, store=store,
+                           warm_cache=warm_cache)
     except GridExecutionError as exc:
         results = exc.results
         failures = exc.failures

@@ -77,7 +77,8 @@ class Simulator:
         non-decreasing across callback invocations.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_run", "_live", "_cancelled")
+    __slots__ = ("now", "_heap", "_seq", "_events_run", "_live", "_cancelled",
+                 "_stop_requested")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -86,6 +87,19 @@ class Simulator:
         self._events_run: int = 0
         self._live: int = 0        # scheduled and not yet run/cancelled
         self._cancelled: int = 0   # cancelled but still sitting in the heap
+        self._stop_requested: bool = False
+
+    def stop(self) -> None:
+        """Request an exact stop: the loop exits after the current callback.
+
+        Callable from inside an event callback (the usual case: a model
+        component detects its termination condition).  Unlike ``drain``'s
+        periodic predicate, the stopping point is a precise *event*, so
+        the end state cannot depend on how callers sliced the event loop
+        — the determinism the snapshot layer's bit-identity invariant
+        rests on.  The request is consumed by the loop that honours it.
+        """
+        self._stop_requested = True
 
     def at(self, time: int, fn: Callable, arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
@@ -125,6 +139,35 @@ class Simulator:
         """Total callbacks executed so far (for progress reporting)."""
         return self._events_run
 
+    def signature(self) -> dict:
+        """Comparable digest of the engine state (snapshot test hook).
+
+        Two simulators with equal signatures hold the same clock, the
+        same counters and the same scheduled work: every heap entry is
+        summarised as ``(time, seq, cancelled, callback qualname, arg
+        kind)``.  The heap list order is part of the signature — a
+        faithful state copy preserves it verbatim, and pop order is fully
+        determined by ``(time, seq)`` anyway.  Callbacks are named, not
+        identity-compared, so signatures of *independent* simulations
+        (original vs. restored-from-snapshot) can be equated.
+        """
+        def arg_kind(arg: Any) -> str:
+            if arg is None or isinstance(arg, (int, str)):
+                return repr(arg)
+            return type(arg).__name__
+
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_run": self._events_run,
+            "live": self._live,
+            "cancelled": self._cancelled,
+            "heap": [(e.time, e.seq, e.cancelled,
+                      getattr(e.fn, "__qualname__", repr(e.fn)),
+                      arg_kind(e.arg))
+                     for e in self._heap],
+        }
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the event loop.
 
@@ -161,6 +204,9 @@ class Simulator:
             self.now = ev.time
             self._events_run += 1
             ev.fn(ev.arg)
+            if self._stop_requested:
+                self._stop_requested = False
+                return self.now
             if budget > 0:
                 budget -= 1
         if until is not None and self.now < until:
@@ -171,10 +217,17 @@ class Simulator:
         """Run until ``fn()`` returns True, checking every ``check_every`` events.
 
         Used by the system harness to stop when all cores have retired
-        their instruction budgets without polling on every event.
+        their instruction budgets without polling on every event.  A
+        callback calling :meth:`stop` ends the drain at that exact event
+        (and a stop requested *before* the drain ends it before any event
+        runs) — the periodic predicate remains as the fallback for
+        components that don't signal exactly.
         """
         heap = self._heap
         counter = 0
+        if self._stop_requested:
+            self._stop_requested = False
+            return self.now
         while heap:
             ev = heapq.heappop(heap)
             if ev.cancelled:
@@ -185,6 +238,9 @@ class Simulator:
             self.now = ev.time
             self._events_run += 1
             ev.fn(ev.arg)
+            if self._stop_requested:
+                self._stop_requested = False
+                break
             counter += 1
             if counter >= check_every:
                 counter = 0

@@ -34,13 +34,17 @@ from repro.mem.mshr import MSHRFile
 from repro.mem.sram import SRAMCache
 from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
 from repro.sim.engine import Simulator
+from repro.snapshot import WARM_STATE_VERSION, WarmState, WarmStateError
+from repro.workloads.cursor import TraceCursor
 from repro.workloads.profiles import BenchmarkProfile
 
 #: Version of the :class:`SystemResult` on-disk schema.  Bump whenever the
 #: result fields, the metrics hierarchy, or the semantics of any reported
 #: value change — the experiment cache keys on it, so entries written by
 #: older code are invalidated instead of silently reused (see DESIGN.md).
-RESULT_SCHEMA_VERSION = 3
+#: v4: exact run termination (Simulator.stop at the last core's retiring
+#: event) — trailing-event accumulation differs from v3 entries.
+RESULT_SCHEMA_VERSION = 4
 
 
 class ResultSchemaError(ValueError):
@@ -139,9 +143,10 @@ class System:
             design, self.sim, cfg, organization=organization,
             xor_remap=xor_remap, use_mapi=use_mapi, scheduler=scheduler)
 
-        row_bytes = cfg.dram_cache.row_bytes
-        array = self.controller.array
-        self._row_of = lambda addr: array.tag_location(addr) // row_bytes
+        # A *bound method*, not a closure: closures deep-copy/pickle as
+        # atoms, so a snapshotted L2 would keep calling into the donor
+        # system's array (see repro/snapshot.py).
+        self._row_of = self._array_row
         self.l2 = SRAMCache(cfg.l2,
                             row_of=self._row_of if lee_writeback else None)
         self.lee: Optional[DRAMAwareWritebackIndex] = None
@@ -156,14 +161,18 @@ class System:
         self._block_mask = ~(cfg.l2.block_bytes - 1)
 
         self._footprint_scale = footprint_scale
+        self._seed = seed
         self.cores: list[Core] = []
         for i, prof in enumerate(benchmarks):
             # Trace-source protocol: any workload frontend (synthetic
             # profile, phased/adversarial scenario, trace-file replay)
             # builds its own stream; see repro/workloads/scenarios.py.
-            trace = prof.make_trace(seed=seed * 1000003 + i * 7919 + 1,
-                                    core_offset=i << 44,
-                                    footprint_scale=footprint_scale)
+            # The TraceCursor wrapper makes the stream positioned and
+            # reconstructible, which is what lets a snapshot of this
+            # system be captured at all (see repro/workloads/cursor.py).
+            trace = TraceCursor(prof, seed=seed * 1000003 + i * 7919 + 1,
+                                core_offset=i << 44,
+                                footprint_scale=footprint_scale)
             self.cores.append(Core(self.sim, i, cfg.cpu, trace, self))
 
         self._mshr_waiters: list[Core] = []
@@ -183,6 +192,11 @@ class System:
             self.metrics.register("mapi", self.controller.mapi.stats)
         if self.lee is not None:
             self.metrics.register("lee", self.lee.stats)
+
+    def _array_row(self, addr: int) -> int:
+        """DRAM-cache row holding the tag structure guarding ``addr``."""
+        return (self.controller.array.tag_location(addr)
+                // self.cfg.dram_cache.row_bytes)
 
     # ------------------------------------------------------------- memory path
 
@@ -259,6 +273,13 @@ class System:
 
     def core_finished(self, _core: Core) -> None:
         self._finished += 1
+        if self._finished == len(self.cores):
+            # Exact termination: the run ends at this event, not at the
+            # next multiple of the drain's check interval.  Without this
+            # the end state would depend on how the event loop was
+            # sliced, breaking the snapshot layer's bit-identity
+            # invariant (restored continuations slice differently).
+            self.sim.stop()
 
     def functional_warmup(self, replay_accesses: int = 20_000,
                           prefill: bool = True) -> None:
@@ -306,23 +327,153 @@ class System:
         array.reset_counters()
         l2.stats.reset()
 
+    # ------------------------------------------------------------- warm state
+
+    def capture_warm_state(self) -> WarmState:
+        """Freeze the design-independent warm-up products of this system.
+
+        Must be called after :meth:`functional_warmup` and before any
+        timed simulation: the captured image is exactly the functional
+        state (DRAM-cache contents, L2 contents, trace positions) that
+        every controller design over the same (workload, seed, substrate)
+        prefix shares, so one capture forks a whole design sweep.  The
+        set-associative array capture is O(1) copy-on-write — the donor
+        keeps simulating unperturbed (see ``DRAMCacheArray.capture_state``).
+        """
+        if self.sim.events_run or self.sim.now:
+            raise WarmStateError(
+                "warm state must be captured before timed simulation "
+                f"(events_run={self.sim.events_run}, now={self.sim.now})")
+        return WarmState(
+            schema_version=WARM_STATE_VERSION,
+            organization=self.organization,
+            seed=self._seed,
+            benchmarks=[b.name for b in self.benchmarks],
+            footprint_scale=self._footprint_scale,
+            lee_writeback=self.lee is not None,
+            dram_cache_geometry=dataclasses.asdict(self.cfg.dram_cache),
+            l2_geometry=dataclasses.asdict(self.cfg.l2),
+            trace_counts=[c.trace.count for c in self.cores],
+            array_state=self.controller.array.capture_state(),
+            l2_state=self.l2.capture_state(),
+        )
+
+    def restore_warm_state(self, warm: WarmState) -> None:
+        """Adopt a :class:`WarmState` instead of running the warm-up.
+
+        The system must be freshly constructed (nothing simulated, traces
+        unconsumed) and built over the same warm-relevant prefix — any
+        mismatch raises :class:`WarmStateError` rather than silently
+        producing a run that is *almost* the cold-run result.  After the
+        restore the run is bit-identical to one that performed
+        :meth:`functional_warmup` itself (the warm-cache invariant,
+        enforced by tests/test_warm_cache.py).
+        """
+        if warm.schema_version != WARM_STATE_VERSION:
+            raise WarmStateError(
+                f"warm state schema {warm.schema_version} != current "
+                f"{WARM_STATE_VERSION}")
+        mine = dict(
+            organization=self.organization, seed=self._seed,
+            benchmarks=[b.name for b in self.benchmarks],
+            footprint_scale=self._footprint_scale,
+            lee_writeback=self.lee is not None,
+            dram_cache_geometry=dataclasses.asdict(self.cfg.dram_cache),
+            l2_geometry=dataclasses.asdict(self.cfg.l2))
+        theirs = {k: getattr(warm, k) for k in mine}
+        if mine != theirs:
+            diffs = {k: (theirs[k], mine[k])
+                     for k in mine if mine[k] != theirs[k]}
+            raise WarmStateError(
+                f"warm state does not match this system: {diffs}")
+        if self.sim.events_run or self.sim.now:
+            raise WarmStateError("cannot restore into a running system")
+        # Validate everything before mutating anything: a partial restore
+        # (some traces fast-forwarded, then an error) would leave the
+        # system silently unusable for a cold-run fallback.
+        for core in self.cores:
+            if core.trace.count:
+                raise WarmStateError("cannot restore into a consumed trace")
+        for core, count in zip(self.cores, warm.trace_counts):
+            core.trace.skip(count)
+        self.controller.array.restore_state(warm.array_state)
+        self.l2.restore_state(warm.l2_state)
+
+    # ------------------------------------------------------------- execution
+
+    def begin(self, warmup_insts: int = 20_000,
+              measure_insts: int = 200_000,
+              functional_warmup: bool = True,
+              replay_accesses: Optional[int] = None,
+              warm_state: Optional[WarmState] = None) -> None:
+        """Warm up (or restore a warm state) and start every core.
+
+        Split out of :meth:`run` so callers can drive the event loop in
+        slices (``self.sim.run(max_events=...)``) between ``begin`` and
+        :meth:`finish` — the snapshot differential tests capture
+        mid-simulation this way.
+
+        ``replay_accesses`` defaults to 20 000 for the functional warm-up
+        path.  When a ``warm_state`` is supplied *and* an explicit
+        ``replay_accesses`` is requested, the warm state must have been
+        captured with exactly that replay budget (its per-core trace
+        counts record it) — otherwise the run would silently differ from
+        that configuration's cold result.
+        """
+        if warm_state is not None:
+            if replay_accesses is not None and any(
+                    c != replay_accesses for c in warm_state.trace_counts):
+                raise WarmStateError(
+                    f"warm state was captured with per-core trace counts "
+                    f"{warm_state.trace_counts}, not the requested replay "
+                    f"budget {replay_accesses}")
+            self.restore_warm_state(warm_state)
+        elif functional_warmup:
+            self.functional_warmup(
+                replay_accesses=(20_000 if replay_accesses is None
+                                 else replay_accesses))
+        for core in self.cores:
+            core.start(warmup_insts, measure_insts)
+
+    def finish(self) -> SystemResult:
+        """Run the event loop until every core retires; gather metrics.
+
+        Termination is exact — ``core_finished`` stops the engine at the
+        retiring event itself — so the result is a pure function of the
+        simulation state, however the caller sliced the event loop up to
+        that point.  The stop is a one-shot request consumed by the
+        slice that executes the retiring event: a caller that keeps
+        running slices *afterwards* executes trailing post-retirement
+        events (cores generate work indefinitely) and ``finish`` then
+        reports that later state — don't slice past the stop if the
+        result must match a straight-through run.  The drain predicate
+        is only the safety net for a stop consumed by an earlier manual
+        ``sim.run`` slice.
+        """
+        if self._finished < len(self.cores):
+            self.sim.drain(lambda: self._finished >= len(self.cores),
+                           check_every=1024)
+        return self._result()
+
     def run(self, warmup_insts: int = 20_000,
             measure_insts: int = 200_000,
             functional_warmup: bool = True,
-            replay_accesses: int = 20_000) -> SystemResult:
+            replay_accesses: Optional[int] = None,
+            warm_state: Optional[WarmState] = None) -> SystemResult:
         """Simulate until every core retires its budget; gather metrics.
 
         ``warmup_insts`` is the *timed* warm-up (queues, predictors, row
         buffers reach steady state; stats reset at its end); the functional
         warm-up handles cache contents (see :meth:`functional_warmup`).
+        A ``warm_state`` replaces the functional warm-up with a restore
+        of a previously captured image (see :meth:`capture_warm_state`);
+        passing ``replay_accesses`` alongside it asserts the state was
+        captured with that replay budget (see :meth:`begin`).
         """
-        if functional_warmup:
-            self.functional_warmup(replay_accesses=replay_accesses)
-        for core in self.cores:
-            core.start(warmup_insts, measure_insts)
-        self.sim.drain(lambda: self._finished >= len(self.cores),
-                       check_every=1024)
-        return self._result()
+        self.begin(warmup_insts, measure_insts,
+                   functional_warmup=functional_warmup,
+                   replay_accesses=replay_accesses, warm_state=warm_state)
+        return self.finish()
 
     def _result(self) -> SystemResult:
         snap = self.metrics.snapshot()

@@ -144,3 +144,46 @@ def test_remap_is_permutation_of_banks(addr):
         a = base | (bank_sel << 14)
         banks.add(m.decode(a).bank)
     assert len(banks) == org.banks_per_rank
+
+
+class TestEncodeDecodeRoundTrip:
+    """Property round-trips in *both* directions (snapshot layer relies on
+    the mapping being a pure bijection: restored runs re-derive access
+    coordinates and must land on the identical banks/rows)."""
+
+    coords = st.tuples(
+        st.integers(min_value=0, max_value=3),      # channel
+        st.integers(min_value=0, max_value=0),      # rank (1 per channel)
+        st.integers(min_value=0, max_value=15),     # bank
+        st.integers(min_value=0, max_value=2**22),  # row
+        st.integers(min_value=0, max_value=63),     # col
+    )
+
+    @given(coords, st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_decode_of_encode_recovers_coordinates(self, coord, remap):
+        org = DRAMOrganization()
+        m = AddressMapper(org, xor_remap=remap)
+        d = DecodedAddress(*coord)
+        assert m.decode(m.encode(d)) == d
+
+    @given(coords)
+    @settings(max_examples=100, deadline=None)
+    def test_global_bank_flattening_is_injective(self, coord):
+        org = DRAMOrganization()
+        m = AddressMapper(org)
+        d = DecodedAddress(*coord)
+        gb = m.global_bank(d)
+        per_ch = org.ranks_per_channel * org.banks_per_rank
+        assert 0 <= gb < org.total_banks
+        # channel-local bank index recovery used by the schedulers'
+        # bucket fast path (global_bank % banks-per-channel)
+        assert gb % per_ch == d.rank * org.banks_per_rank + d.bank
+        assert gb // per_ch == d.channel
+
+    @given(st.integers(min_value=0, max_value=2**40), st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_row_of_is_stable_under_round_trip(self, addr, remap):
+        m = AddressMapper(DRAMOrganization(), xor_remap=remap)
+        addr &= ~63
+        assert m.row_of(m.encode(m.decode(addr))) == m.row_of(addr)

@@ -1,0 +1,98 @@
+"""Golden-run regression pin: committed metric snapshots must not drift.
+
+``tests/golden/fig08_quick.json`` holds the complete results (headline
+fields + full metrics tree) of a small fig08-style run set.  Any change
+to simulated behaviour — intended or not — trips this test with a
+readable per-metric diff, so refactors that are supposed to be
+behaviour-preserving (snapshot/restore, scheduler fast paths, warm-state
+forking) cannot silently bend results.
+
+When a behaviour change is *intended*, regenerate the fixture and commit
+it together with the change::
+
+    REPRO_REGOLD=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+
+The fixture is calibrated on CI's platform (CPython on x86-64 Linux
+glibc); exotic libm implementations could differ in float ulps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import RunSpec, SimParams, run_one
+from repro.sim.system import RESULT_SCHEMA_VERSION
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fig08_quick.json"
+
+#: one point per controller design over Table I mix 1 at quick scale
+SPECS = [RunSpec(d, "sa", mix_id=1) for d in ("CD", "ROD", "DCA")]
+
+
+def compute_entries() -> dict:
+    params = SimParams.quick()
+    entries = {}
+    for spec in SPECS:
+        result = run_one(spec, params)
+        data = result.to_cache_dict()
+        data.pop("meta")            # provenance, not behaviour
+        entries[spec.label()] = data
+    return entries
+
+
+def walk_diff(expected, actual, path: str = "") -> list[str]:
+    """Readable leaf-level diff lines between two nested structures."""
+    lines: list[str] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in actual:
+                lines.append(f"  {sub}: missing (golden {expected[key]!r})")
+            elif key not in expected:
+                lines.append(f"  {sub}: unexpected (got {actual[key]!r})")
+            else:
+                lines.extend(walk_diff(expected[key], actual[key], sub))
+    elif (isinstance(expected, list) and isinstance(actual, list)
+          and len(expected) == len(actual)):
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            lines.extend(walk_diff(e, a, f"{path}[{i}]"))
+    elif expected != actual:
+        lines.append(f"  {path}: golden {expected!r} != got {actual!r}")
+    return lines
+
+
+def test_golden_fig08_quick():
+    entries = compute_entries()
+
+    if os.environ.get("REPRO_REGOLD"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(
+            {"result_schema_version": RESULT_SCHEMA_VERSION,
+             "params": "quick", "entries": entries},
+            indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate with "
+        f"REPRO_REGOLD=1 PYTHONPATH=src python -m pytest tests/test_golden.py")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["result_schema_version"] == RESULT_SCHEMA_VERSION, (
+        "result schema changed: regenerate the golden fixture "
+        "(REPRO_REGOLD=1) and review the diff it pins")
+
+    diffs: list[str] = []
+    for label, expected in golden["entries"].items():
+        actual = entries.get(label)
+        if actual is None:
+            diffs.append(f"  {label}: missing from run set")
+            continue
+        diffs.extend(walk_diff(expected, actual, label))
+    assert not diffs, (
+        "simulated results drifted from the golden run "
+        "(intended? regenerate with REPRO_REGOLD=1 and commit the diff):\n"
+        + "\n".join(diffs[:40])
+        + (f"\n  ... and {len(diffs) - 40} more" if len(diffs) > 40 else ""))

@@ -217,3 +217,81 @@ class TestSystemWiring:
         extra = s.controller.metrics.register("tagcache", SampleStats(hits=9))
         assert s.metrics.snapshot()["tagcache"]["hits"] == 9
         assert extra is s.metrics.group("tagcache")
+
+
+class TestRestoreEdgeCases:
+    """Metric edge cases the snapshot/restore layer leans on.
+
+    A restored run merges, resets and re-snapshots groups in states a
+    straight-through run never produces (fresh-but-adopted registries,
+    repeated warm-up boundaries), so those paths are pinned here.
+    """
+
+    def test_merge_into_empty_group(self):
+        """Merging into a freshly-constructed group is the identity."""
+        populated = SampleStats(hits=7, misses=3, latency_sum_ps=1200)
+        merged = SampleStats().merge(populated)
+        assert merged == populated
+        assert merged.snapshot() == populated.snapshot()
+        # ...and in both directions.
+        assert populated.merge(SampleStats()) == populated
+
+    def test_merge_into_empty_registry_tree(self):
+        full = MetricRegistry()
+        full.register("a", SampleStats(hits=2))
+        full.register("sub.b", SampleStats(misses=5))
+        empty = MetricRegistry()
+        empty.register("a", SampleStats())
+        empty.register("sub.b", SampleStats())
+        merged = empty.merge(full)
+        assert merged.snapshot() == full.snapshot()
+
+    def test_double_reset_is_idempotent(self):
+        s = SampleStats(hits=4, misses=4)
+        s.reset()
+        first = s.snapshot()
+        s.reset()
+        assert s.snapshot() == first
+        assert s.hits == 0 and s.hit_rate == 0.0
+        reg = MetricRegistry()
+        reg.register("x", s)
+        reg.reset()
+        reg.reset()
+        assert reg.snapshot() == {"x": first}
+
+    def test_snapshot_restore_round_trip_after_reset(self):
+        s = SampleStats(hits=9)
+        s.reset()
+        restored = SampleStats.from_snapshot(s.snapshot())
+        assert restored == s
+
+    def test_occupancy_integral_survives_snapshot_restore(self):
+        """The time-weighted occupancy accounting is part of queue state:
+        a deep-copied (snapshot-restored) queue must report the same mean
+        occupancy trajectory as the original, including across a
+        reset_accounting() warm-up boundary."""
+        import copy
+        from repro.core.access import Access, AccessRole, CacheRequest, RequestType
+        from repro.core.queues import AccessQueue
+
+        def mk():
+            req = CacheRequest(RequestType.READ, 0x40, 0)
+            return Access(AccessRole.TAG_READ, req, 0, 0, 0, 1, 0, 0, 0)
+
+        q = AccessQueue(4)
+        a, b = mk(), mk()
+        q.push(a, now=0)
+        q.push(b, now=50)              # integral: 1*50
+        q.remove(a, now=100)           # + 2*50
+        q.reset_accounting(now=100)    # warm-up boundary
+        q.push(mk(), now=150)          # measured: 1*50 so far
+
+        clone = copy.deepcopy(q)
+        assert clone.mean_occupancy(200) == q.mean_occupancy(200)
+        # Diverge after the copy: each keeps its own integral.
+        q.remove(b, now=250)
+        assert clone.mean_occupancy(300) != q.mean_occupancy(300)
+        # The clone's trajectory matches what the original would have
+        # reported had it stayed untouched.
+        assert clone.mean_occupancy(300) == pytest.approx(
+            (1 * 50 + 2 * 150) / 200)
