@@ -31,6 +31,7 @@ system), :mod:`repro.workloads`, :mod:`repro.metrics`,
 
 from repro.config import (
     DRAMTimings,
+    SubstrateConfig,
     SystemConfig,
     paper_config,
     scaled_config,
@@ -53,6 +54,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "DRAMTimings",
+    "SubstrateConfig",
     "SystemConfig",
     "paper_config",
     "scaled_config",

@@ -1,10 +1,13 @@
 """Performance benchmark harness (see benchmarks/perf/).
 
-``repro.bench`` measures the two things every PR must not regress:
+``repro.bench`` measures the things every PR must not regress:
 
 * **decision-loop throughput** — scheduler picks + queue maintenance per
   second, measured for the naive full-scan selectors *and* the indexed
   fast path on identical states (``decision_loop``);
+* **substrate issue-loop throughput** — raw ``issue()`` cost of the
+  burst vs command fidelity models on identical access streams
+  (``substrate_loop``), pinning the price of fidelity;
 * **end-to-end wall clock** — a small fig08-style simulation grid run
   through the real experiment machinery (``harness``).
 
@@ -13,6 +16,8 @@ layer's atomic JSON store, forming the repo's perf trajectory.
 """
 
 from repro.bench.decision_loop import run_decision_loop
-from repro.bench.harness import BENCH_SCHEMA_VERSION, main, run_perf
+from repro.bench.harness import BENCH_SCHEMA_VERSION, SECTIONS, main, run_perf
+from repro.bench.substrate_loop import run_substrate_loop
 
-__all__ = ["run_decision_loop", "run_perf", "main", "BENCH_SCHEMA_VERSION"]
+__all__ = ["run_decision_loop", "run_substrate_loop", "run_perf", "main",
+           "BENCH_SCHEMA_VERSION", "SECTIONS"]

@@ -31,9 +31,15 @@ from repro.experiments.common import (
     run_grid,
 )
 from repro.bench.decision_loop import run_decision_loop
+from repro.bench.substrate_loop import run_substrate_loop
 
 #: Version of the BENCH_*.json payload; bump on any field/semantics change.
-BENCH_SCHEMA_VERSION = 1
+#: v2: added the ``substrate`` section (burst vs command issue-loop
+#: throughput) and the ``sections`` field recording what ran.
+BENCH_SCHEMA_VERSION = 2
+
+#: selectable benchmark sections (``repro-perf [section]``)
+SECTIONS = ("decision", "substrate", "e2e")
 
 
 def run_end_to_end(quick: bool = False, jobs: int = 1) -> dict:
@@ -119,19 +125,37 @@ def run_warm_reuse(quick: bool = False, jobs: int = 1) -> dict:
 
 def run_perf(quick: bool = False, label: str = "dev",
              out_dir: Path = Path("."), end_to_end: bool = True,
-             jobs: int = 1, seed: int = 0) -> Path:
-    """Run the full harness and write ``BENCH_<label>.json``; returns path."""
+             jobs: int = 1, seed: int = 0,
+             sections: Optional[Sequence[str]] = None) -> Path:
+    """Run the harness and write ``BENCH_<label>.json``; returns path.
+
+    ``sections`` selects which benchmark families run (default: all of
+    :data:`SECTIONS`; ``end_to_end=False`` additionally drops ``e2e``).
+    """
+    if sections is None:
+        sections = SECTIONS
+    unknown = set(sections) - set(SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown bench sections {sorted(unknown)}; "
+                         f"known: {SECTIONS}")
+    if not end_to_end:
+        # The recorded section list must describe what actually ran.
+        sections = [s for s in sections if s != "e2e"]
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "perf",
         "label": label,
         "quick": quick,
+        "sections": list(sections),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "decision_loop": run_decision_loop(quick=quick, seed=seed),
     }
-    if end_to_end:
+    if "decision" in sections:
+        payload["decision_loop"] = run_decision_loop(quick=quick, seed=seed)
+    if "substrate" in sections:
+        payload["substrate"] = run_substrate_loop(quick=quick, seed=seed)
+    if "e2e" in sections:
         payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
         payload["warm_reuse"] = run_warm_reuse(quick=quick, jobs=jobs)
     return atomic_write_json(Path(out_dir) / f"BENCH_{label}.json", payload)
@@ -140,8 +164,12 @@ def run_perf(quick: bool = False, label: str = "dev",
 def main(argv: Optional[Sequence[str]] = None) -> int:
     p = argparse.ArgumentParser(
         prog="repro-perf",
-        description="Scheduler decision-loop + end-to-end perf harness; "
-                    "emits BENCH_<label>.json.")
+        description="Perf harness: scheduler decision loop, substrate "
+                    "issue loop (burst vs command fidelity) and "
+                    "end-to-end grids; emits BENCH_<label>.json.")
+    p.add_argument("section", nargs="*", metavar="section",
+                   help=f"benchmark sections to run ({', '.join(SECTIONS)}; "
+                        f"default all) — e.g. 'repro-perf substrate'")
     p.add_argument("--quick", action="store_true",
                    help="reduced iteration counts / grid size (CI smoke)")
     p.add_argument("--label", default="dev",
@@ -154,18 +182,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    help="worker processes for the end-to-end grid")
     p.add_argument("--seed", type=int, default=0)
     args = p.parse_args(argv)
+    sections = tuple(args.section) if args.section else None
+    if sections and set(sections) - set(SECTIONS):
+        p.error(f"unknown sections {sorted(set(sections) - set(SECTIONS))}; "
+                f"known: {', '.join(SECTIONS)}")
     path = run_perf(quick=args.quick, label=args.label,
                     out_dir=Path(args.out_dir), end_to_end=not args.no_e2e,
-                    jobs=args.jobs, seed=args.seed)
+                    jobs=args.jobs, seed=args.seed, sections=sections)
     import json
     data = json.loads(path.read_text())
-    dl = data["decision_loop"]
     print(f"wrote {path}")
-    for s in dl["scenarios"]:
-        print(f"  {s['name']:<24} naive {s['naive_per_s']:>10.0f}/s   "
-              f"indexed {s['indexed_per_s']:>10.0f}/s   x{s['speedup']:.2f}")
-    print(f"  geomean speedup: x{dl['geomean_speedup']:.2f} "
-          f"(min x{dl['min_speedup']:.2f})")
+    if "decision_loop" in data:
+        dl = data["decision_loop"]
+        for s in dl["scenarios"]:
+            print(f"  {s['name']:<24} naive {s['naive_per_s']:>10.0f}/s   "
+                  f"indexed {s['indexed_per_s']:>10.0f}/s   x{s['speedup']:.2f}")
+        print(f"  geomean speedup: x{dl['geomean_speedup']:.2f} "
+              f"(min x{dl['min_speedup']:.2f})")
+    if "substrate" in data:
+        for s in data["substrate"]["scenarios"]:
+            print(f"  {s['name']:<24} burst {s['burst_per_s']:>10.0f}/s   "
+                  f"command {s['command_per_s']:>10.0f}/s   "
+                  f"overhead x{s['command_overhead_x']:.2f}")
     if "end_to_end" in data:
         e = data["end_to_end"]
         print(f"  end-to-end: {e['points']} points in {e['wall_s']:.1f}s "

@@ -1,0 +1,100 @@
+"""Substrate issue-loop microbenchmark: burst vs command fidelity.
+
+Times the raw ``issue()`` throughput of each substrate model over
+identical pre-generated access streams — the per-access cost of the
+substrate itself, isolated from queues, schedulers and the event loop.
+The command model does strictly more work per issue (rank-window checks,
+lazy refresh sync, page-policy bookkeeping), so the ratio quantifies the
+price of fidelity and pins the burst model's hot-path status: burst is
+the default precisely because this loop is the simulator's innermost
+cost centre.
+
+Two stream shapes are measured:
+
+* ``steady`` — decision time advances with the bus (the controller's
+  pipelined steady state);
+* ``bursty`` — same-time decision batches with occasional long idle
+  gaps, which at command fidelity exercises the refresh catch-up path
+  (both configurations run the default open page policy, so
+  ``policy_closes`` is expectedly 0 in the payload).
+
+Counter totals of the command run are included in the payload so a
+BENCH artefact also documents *how much* fidelity work the stream
+triggered (a throughput ratio over a stream that never refreshes would
+flatter the command model).
+"""
+
+from __future__ import annotations
+
+import random
+from time import perf_counter
+
+from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
+from repro.dram.substrate import make_channel
+
+
+def _make_stream(mode: str, n: int, org: DRAMOrganization,
+                 timings: DRAMTimings, seed: int) -> list[tuple]:
+    """Pre-generated ``(rank, bank, row, is_write, now)`` tuples."""
+    rng = random.Random(seed)
+    out = []
+    now = 0
+    for i in range(n):
+        out.append((rng.randrange(org.ranks_per_channel),
+                    rng.randrange(org.banks_per_rank),
+                    rng.randrange(32), rng.random() < 0.3, now))
+        if mode == "steady":
+            now += timings.tBURST
+        else:                      # bursty: same-time batches + idle gaps
+            if i % 8 == 7:
+                now += (timings.tREFI // 3 if i % 64 == 63
+                        else 4 * timings.tBURST)
+    return out
+
+
+def _time_issue_loop(substrate: SubstrateConfig, stream: list[tuple],
+                     timings: DRAMTimings, org: DRAMOrganization
+                     ) -> tuple[float, dict]:
+    channel = make_channel(timings, org, substrate)
+    issue = channel.issue
+    t0 = perf_counter()
+    for rank, bank, row, is_write, now in stream:
+        issue(rank, bank, row, is_write, now)
+    elapsed = perf_counter() - t0
+    return elapsed, channel.stats.snapshot()
+
+
+def run_substrate_loop(quick: bool = False, seed: int = 0) -> dict:
+    """Benchmark both fidelities on identical streams; JSON-ready summary."""
+    n = 20_000 if quick else 200_000
+    org = DRAMOrganization()
+    timings = DRAMTimings.stacked()
+    burst = SubstrateConfig()
+    command = SubstrateConfig(fidelity="command")
+
+    scenarios = []
+    for mode in ("steady", "bursty"):
+        stream = _make_stream(mode, n, org, timings, seed + 71)
+        burst_s, _ = _time_issue_loop(burst, stream, timings, org)
+        command_s, cmd_stats = _time_issue_loop(command, stream, timings, org)
+        scenarios.append({
+            "name": f"issue_loop_{mode}",
+            "issues": n,
+            "burst_s": round(burst_s, 6),
+            "command_s": round(command_s, 6),
+            "burst_per_s": round(n / burst_s, 1) if burst_s else 0.0,
+            "command_per_s": round(n / command_s, 1) if command_s else 0.0,
+            "command_overhead_x": (round(command_s / burst_s, 3)
+                                   if burst_s else 0.0),
+            "command_counters": {
+                k: cmd_stats[k]
+                for k in ("refreshes_issued", "refreshes_postponed",
+                          "faw_stalls", "rrd_stalls", "refresh_stalls",
+                          "policy_closes")},
+        })
+    overheads = [s["command_overhead_x"] for s in scenarios]
+    return {
+        "issues_per_scenario": n,
+        "scenarios": scenarios,
+        "max_command_overhead_x": round(max(overheads), 3),
+    }

@@ -37,6 +37,13 @@ class DRAMTimings:
     the predicted latency" following Sim et al. (MICRO'12), as the paper
     does.  A DDR3-1600 set is provided for the off-chip comparison point and
     for tests.
+
+    The last four parameters (tRRD, tFAW, tREFI, tRFC) are **rank-level
+    constraints** consumed only by the command-level substrate model
+    (``fidelity="command"``; see :class:`SubstrateConfig` and
+    :mod:`repro.dram.command`).  The burst-granular default model ignores
+    them, so they default to 0 ("unconstrained") and a value of 0 keeps
+    the corresponding mechanism off even at command fidelity.
     """
 
     tRCD: int    # ACT -> CAS (row to column delay)
@@ -48,6 +55,37 @@ class DRAMTimings:
     tRTW: int    # read -> write command (bus turnaround R->W)
     tWR: int     # end of write data -> PRE (write recovery)
     tBURST: int  # data burst duration on the bus
+    tRRD: int = 0    # ACT -> ACT, same rank (0 = unconstrained)
+    tFAW: int = 0    # window admitting at most four ACTs per rank (0 = off)
+    tREFI: int = 0   # average periodic refresh interval (0 = no refresh)
+    tRFC: int = 0    # refresh cycle time: rank blackout per refresh
+
+    def __post_init__(self):
+        # A typo'd timing (0, negative, or tRFC swallowing the whole
+        # refresh interval) used to silently produce garbage results;
+        # reject it at construction instead.
+        for name in ("tRCD", "tCAS", "tRP", "tRAS", "tWTR", "tRTP",
+                     "tRTW", "tWR", "tBURST"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"DRAMTimings.{name} must be a positive picosecond "
+                    f"count, got {getattr(self, name)!r}")
+        for name in ("tRRD", "tFAW", "tREFI", "tRFC"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"DRAMTimings.{name} must be >= 0 (0 disables it), "
+                    f"got {getattr(self, name)!r}")
+        if self.tFAW and self.tRRD and self.tFAW < self.tRRD:
+            raise ValueError(
+                f"tFAW ({self.tFAW}) spans four ACTs and cannot be "
+                f"shorter than one ACT-to-ACT gap tRRD ({self.tRRD})")
+        if self.tREFI and self.tRFC >= self.tREFI:
+            raise ValueError(
+                f"tRFC ({self.tRFC}) must be smaller than the refresh "
+                f"interval tREFI ({self.tREFI}) or refresh starves the rank")
+        if self.tREFI and not self.tRFC:
+            raise ValueError("tREFI is set but tRFC is 0: a refresh with "
+                             "no cycle time models nothing")
 
     @classmethod
     def stacked(cls) -> "DRAMTimings":
@@ -56,6 +94,7 @@ class DRAMTimings:
             tRCD=ns(8), tCAS=ns(8), tRP=ns(8), tRAS=ns(30),
             tWTR=ns(5), tRTP=ns(7.5), tRTW=ns(1.67),
             tWR=ns(15), tBURST=ns(3.33),
+            tRRD=ns(5), tFAW=ns(25), tREFI=ns(3900), tRFC=ns(120),
         )
 
     @classmethod
@@ -65,6 +104,7 @@ class DRAMTimings:
             tRCD=ns(13.75), tCAS=ns(13.75), tRP=ns(13.75), tRAS=ns(35),
             tWTR=ns(7.5), tRTP=ns(7.5), tRTW=ns(2.5),
             tWR=ns(15), tBURST=ns(5),
+            tRRD=ns(6), tFAW=ns(30), tREFI=ns(7800), tRFC=ns(160),
         )
 
     def row_miss_penalty(self) -> int:
@@ -74,6 +114,50 @@ class DRAMTimings:
     def row_conflict_penalty(self) -> int:
         """Cost of PRE+ACT+CAS on a conflicting open row (excludes burst)."""
         return self.tRP + self.tRCD + self.tCAS
+
+
+#: Substrate fidelities and page policies accepted by SubstrateConfig.
+SUBSTRATE_FIDELITIES = ("burst", "command")
+PAGE_POLICIES = ("open", "closed", "timeout")
+
+
+@dataclass(frozen=True)
+class SubstrateConfig:
+    """Which DRAM substrate model the controllers schedule onto.
+
+    ``fidelity="burst"`` is the access-granular model every controller
+    comparison uses by default (fast, the paper's operating point);
+    ``fidelity="command"`` swaps in :class:`repro.dram.command.CommandChannel`,
+    which additionally enforces per-rank ACT throttling (tRRD spacing and
+    the four-ACT tFAW window), periodic refresh (tREFI scheduling with a
+    tRFC rank blackout and postpone accounting) and a configurable row
+    page policy.  Both implement the same :class:`repro.dram.substrate.Substrate`
+    protocol, so every layer above is fidelity-agnostic and a sweep axis
+    like ``substrate.fidelity=burst,command`` just works.
+
+    ``page_policy`` and ``refresh`` only take effect at command fidelity
+    (the burst model is open-page, refresh-free by construction).
+    """
+
+    fidelity: str = "burst"
+    page_policy: str = "open"
+    refresh: bool = True
+    #: idle time after which the "timeout" policy auto-precharges a row
+    page_timeout_ps: int = ns(200)
+
+    def __post_init__(self):
+        if self.fidelity not in SUBSTRATE_FIDELITIES:
+            raise ValueError(
+                f"unknown substrate fidelity {self.fidelity!r}; "
+                f"known: {SUBSTRATE_FIDELITIES}")
+        if self.page_policy not in PAGE_POLICIES:
+            raise ValueError(
+                f"unknown page policy {self.page_policy!r}; "
+                f"known: {PAGE_POLICIES}")
+        if self.page_timeout_ps <= 0:
+            raise ValueError(
+                f"page_timeout_ps must be positive, got "
+                f"{self.page_timeout_ps!r}")
 
 
 @dataclass(frozen=True)
@@ -253,6 +337,7 @@ class SystemConfig:
     dram_cache: DRAMCacheGeometry = field(default_factory=DRAMCacheGeometry)
     timings: DRAMTimings = field(default_factory=DRAMTimings.stacked)
     org: DRAMOrganization = field(default_factory=DRAMOrganization)
+    substrate: SubstrateConfig = field(default_factory=SubstrateConfig)
     queues: QueueConfig = field(default_factory=QueueConfig)
     bliss: BLISSConfig = field(default_factory=BLISSConfig)
     dca: DCAConfig = field(default_factory=DCAConfig)

@@ -99,7 +99,8 @@ class BaseController:
         self.sim = sim
         self.cfg = cfg
         self.organization = organization
-        self.device = DRAMDevice(cfg.timings, cfg.org, xor_remap=xor_remap)
+        self.device = DRAMDevice(cfg.timings, cfg.org, xor_remap=xor_remap,
+                                 substrate=cfg.substrate)
         self.array = DRAMCacheArray(cfg.dram_cache, organization)
         self.translator = Translator(self.array, self.device.mapper)
         self.mapi = MAPIPredictor(cfg.num_cores) if use_mapi else None

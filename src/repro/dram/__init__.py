@@ -9,17 +9,23 @@ of Zhang et al. (MICRO'00).
 """
 
 from repro.dram.address import AddressMapper, DecodedAddress
-from repro.dram.bank import Bank
-from repro.dram.channel import Channel, RowState
+from repro.dram.bank import Bank, RowState
+from repro.dram.channel import Channel
+from repro.dram.command import CommandChannel
 from repro.dram.device import DRAMDevice
-from repro.dram.stats import ChannelStats
+from repro.dram.stats import ChannelStats, CommandChannelStats
+from repro.dram.substrate import Substrate, make_channel
 
 __all__ = [
     "AddressMapper",
     "DecodedAddress",
     "Bank",
     "Channel",
+    "CommandChannel",
     "RowState",
     "DRAMDevice",
     "ChannelStats",
+    "CommandChannelStats",
+    "Substrate",
+    "make_channel",
 ]

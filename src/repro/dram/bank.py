@@ -19,12 +19,27 @@ unaffected by the collapse.
 
 from __future__ import annotations
 
+from enum import IntEnum
+
 from repro.config import DRAMTimings
 
 #: Row-state constants (kept as plain ints for speed in hot paths).
 ROW_HIT = 0
 ROW_CLOSED = 1
 ROW_CONFLICT = 2
+
+
+class RowState(IntEnum):
+    """Public row-state names, derived from the hot-path int constants.
+
+    This is the single definition (``repro.dram.channel`` re-exports it);
+    schedulers and the bank keep comparing plain ints, public query
+    surfaces (``Channel.row_state``) wrap them in this enum.
+    """
+
+    HIT = ROW_HIT
+    CLOSED = ROW_CLOSED
+    CONFLICT = ROW_CONFLICT
 
 
 class Bank:
@@ -105,3 +120,15 @@ class Bank:
         self.ready_cas = 0
         self.ready_pre = 0
         self.ready_act = 0
+
+    # -- state capture (substrate protocol support) ---------------------------
+
+    def capture(self) -> tuple:
+        """Value tuple of the complete bank state (timings excluded)."""
+        return (self.open_row, self.act_time, self.ready_cas,
+                self.ready_pre, self.ready_act)
+
+    def restore(self, state: tuple) -> None:
+        """Adopt a :meth:`capture` tuple."""
+        (self.open_row, self.act_time, self.ready_cas,
+         self.ready_pre, self.ready_act) = state

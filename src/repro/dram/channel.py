@@ -16,24 +16,21 @@ Issue model (shared by every controller design):
 * the burst is placed at ``max(bank CAS + tCAS, bus free, turnaround
   constraint)``;
 * the bank and bus state are updated and the completion time returned.
+
+This class is the ``fidelity="burst"`` substrate model — the default, and
+the hot path every controller comparison runs on.  It implements the
+:class:`repro.dram.substrate.Substrate` protocol; the command-level model
+(:class:`repro.dram.command.CommandChannel`) subclasses it, layering rank
+constraints, refresh and page policies on the same bus/statistics core.
 """
 
 from __future__ import annotations
 
-from enum import IntEnum
-
 from repro.config import DRAMOrganization, DRAMTimings
-from repro.dram.bank import Bank, ROW_CLOSED, ROW_CONFLICT, ROW_HIT
+from repro.dram.bank import Bank, ROW_CLOSED, ROW_CONFLICT, ROW_HIT, RowState
 from repro.dram.stats import ChannelStats
 
-
-class RowState(IntEnum):
-    """Public row-state names (mirrors the int constants in bank.py)."""
-
-    HIT = ROW_HIT
-    CLOSED = ROW_CLOSED
-    CONFLICT = ROW_CONFLICT
-
+__all__ = ["Channel", "RowState"]
 
 # Bus direction states.
 _DIR_NONE = 0
@@ -46,6 +43,9 @@ class Channel:
 
     __slots__ = ("timings", "org", "banks", "bus_free", "bus_dir", "stats",
                  "_last_read_end", "_last_write_end")
+
+    #: substrate fidelity this model implements (see SubstrateConfig)
+    fidelity = "burst"
 
     def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
                  stats: ChannelStats | None = None):
@@ -99,19 +99,36 @@ class Channel:
         been fully transferred — the completion time a request state machine
         should wait on.
         """
-        t = self.timings
         b = self.banks[self.bank_index(rank, bank)]
         state = b.row_state(row)
+        start, end = self._place_and_commit(b, row, b.earliest_cas(row, now),
+                                            is_write)
+        self._account_issue(state, end, is_write)
+        return start, end
 
-        cas = b.earliest_cas(row, now)
+    def _place_and_commit(self, b: Bank, row: int, cas: int,
+                          is_write: bool) -> tuple[int, int]:
+        """Place the burst for an earliest-CAS plan and commit the bank.
+
+        The one burst-placement rule both fidelities share: bus/turnaround
+        constraints fold into the start, and the effective CAS is
+        back-dated so bank bookkeeping (tRTP/tWR windows) lines up with
+        the actual burst position on the bus.
+        """
+        t = self.timings
         start = self._bus_constrained_start(cas + t.tCAS, is_write)
         end = start + t.tBURST
-        # Back-date the effective CAS so bank bookkeeping (tRTP/tWR windows)
-        # lines up with the actual burst position on the bus.
-        eff_cas = start - t.tCAS
-        b.commit(row, eff_cas, is_write, end)
+        b.commit(row, start - t.tCAS, is_write, end)
+        return start, end
 
-        # Bus + turnaround accounting.
+    def _account_issue(self, state: int, end: int, is_write: bool) -> None:
+        """Bus/turnaround bookkeeping + row-state counters for one burst.
+
+        Shared by every fidelity: the bus core and its statistics are what
+        make substrate models comparable, so subclasses reuse this tail
+        verbatim and only differ in how the burst start was derived.
+        """
+        t = self.timings
         new_dir = _DIR_WRITE if is_write else _DIR_READ
         if self.bus_dir != _DIR_NONE and self.bus_dir != new_dir:
             self.stats.turnarounds += 1
@@ -141,7 +158,36 @@ class Channel:
                 s.read_row_closed += 1
             else:
                 s.read_row_conflicts += 1
-        return start, end
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    # -- state capture (substrate protocol) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Value-only image of the complete timing state (not the stats).
+
+        Comparable across independent copies — two channels with equal
+        captures will time every future access identically.  Subclasses
+        extend the dict with their own state under new keys.
+        """
+        return {
+            "bus": (self.bus_free, self.bus_dir,
+                    self._last_read_end, self._last_write_end),
+            "banks": [b.capture() for b in self.banks],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`capture_state` image.
+
+        Atomic: validation happens before any mutation, so a rejected
+        image leaves the channel exactly as it was.
+        """
+        if len(state["banks"]) != len(self.banks):
+            raise ValueError(
+                f"bank count mismatch: captured {len(state['banks'])}, "
+                f"channel has {len(self.banks)}")
+        (self.bus_free, self.bus_dir,
+         self._last_read_end, self._last_write_end) = state["bus"]
+        for b, vals in zip(self.banks, state["banks"]):
+            b.restore(vals)

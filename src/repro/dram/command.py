@@ -1,0 +1,312 @@
+"""Command-level DRAM substrate: rank constraints, refresh, page policies.
+
+The burst-granular :class:`~repro.dram.channel.Channel` collapses the DRAM
+command pipeline to access granularity — fine for relative controller
+comparisons, but unable to express the effects fidelity studies evaluate
+(gem5's unified DRAM-cache controller model and TDRAM both run under
+refresh, tFAW/tRRD rank throttling and page-policy variation).  This
+module adds those mechanisms behind the same substrate protocol:
+
+**Per-rank ACT throttling** — every row activation is recorded in a
+four-deep sliding window per rank; a new ACT may not issue earlier than
+``tRRD`` after the previous ACT on the rank, nor earlier than ``tFAW``
+after the fourth-most-recent one (the JEDEC four-activate window).
+Stalls are counted per binding constraint (``rrd_stalls``/``faw_stalls``).
+
+**Periodic refresh** — each rank owes one refresh every ``tREFI``.  The
+model is *lazy and deterministic*: refresh bookkeeping is brought up to
+date whenever an access next commits on the rank, performing every
+refresh that fell due in the meantime (estimates run the same sync on
+scratch state and roll it back, so probing stays pure).  A refresh precharges all
+banks of the rank and blacks the rank out for ``tRFC``; one that could
+not start at its due time (a bank was still row-active past it) starts
+as soon as the rank can precharge and is counted ``refreshes_postponed``
+— the analogue of the postpone/pull-in credit real controllers track.
+ACTs that land inside a blackout are pushed past it (``refresh_stalls``).
+
+**Page policies** — ``open`` keeps rows open (the burst model's
+behaviour), ``closed`` auto-precharges after every access, ``timeout``
+precharges a row once it has idled for ``page_timeout_ps``.  Policy
+closes are counted (``policy_closes``) and show up upstream as row-closed
+instead of row-hit/conflict accesses.
+
+Determinism: lazy state advances happen only at commits, are monotone in
+simulated time, and the simulator's ``now`` never decreases — so every
+committed time and every counter is a pure function of the issue
+sequence; estimates may run or not run between issues without changing
+any outcome (pinned by tests/test_substrate.py).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
+from repro.dram.bank import ROW_CLOSED, ROW_HIT
+from repro.dram.channel import Channel
+from repro.dram.stats import CommandChannelStats
+
+#: ACTs admitted per rank inside one tFAW window (JEDEC four-activate).
+FAW_DEPTH = 4
+
+
+class CommandChannel(Channel):
+    """Channel with command-level rank constraints, refresh and page policy."""
+
+    __slots__ = ("substrate", "_page_policy", "_page_timeout", "_refresh_on",
+                 "_act_history", "_refresh_due", "_blackout_end",
+                 "_bank_last_end")
+
+    fidelity = "command"
+
+    def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
+                 stats: CommandChannelStats | None = None,
+                 substrate: SubstrateConfig | None = None):
+        if stats is None:
+            stats = CommandChannelStats()
+        elif not isinstance(stats, CommandChannelStats):
+            # Fail at construction, not at the first refresh: a plain
+            # ChannelStats lacks the command-level counters.
+            raise TypeError(
+                f"command-fidelity channels need CommandChannelStats, "
+                f"got {type(stats).__name__}")
+        super().__init__(timings, org, stats=stats)
+        sub = (substrate if substrate is not None
+               else SubstrateConfig(fidelity="command"))
+        self.substrate = sub
+        self._page_policy = sub.page_policy
+        self._page_timeout = sub.page_timeout_ps
+        self._refresh_on = bool(sub.refresh) and timings.tREFI > 0
+        nranks = org.ranks_per_channel
+        #: last FAW_DEPTH effective ACT times per rank (oldest first)
+        self._act_history: list[deque] = [deque(maxlen=FAW_DEPTH)
+                                          for _ in range(nranks)]
+        #: next refresh due time per rank
+        self._refresh_due = [timings.tREFI] * nranks
+        #: end of the rank's current/most recent tRFC blackout
+        self._blackout_end = [0] * nranks
+        #: burst end of each bank's last access (timeout page policy)
+        self._bank_last_end = [0] * len(self.banks)
+
+    # ------------------------------------------------------------ lazy state
+
+    def _sync_rank(self, rank: int, bank_idx: int, now: int,
+                   account: bool = True) -> None:
+        """Bring refresh + page-policy state up to ``now`` for one rank.
+
+        Monotone and idempotent: calling it again at the same (or a
+        later) time never changes what an earlier call established.
+        ``account=False`` suppresses the counter increments (the pure
+        estimate path runs the sync on state it then rolls back, and
+        must leave the stats untouched so counters are a function of the
+        *issue* sequence alone).
+        """
+        if self._refresh_on:
+            t = self.timings
+            due = self._refresh_due[rank]
+            if due <= now:
+                base = rank * self.org.banks_per_rank
+                banks = self.banks[base:base + self.org.banks_per_rank]
+                blackout = self._blackout_end[rank]
+                s = self.stats
+                while due <= now:
+                    start = max(due, blackout)
+                    # All banks must be precharged: a rank still row-active
+                    # past the due time postpones the refresh behind its
+                    # earliest legal PRE.
+                    pre_ready = max(b.ready_pre for b in banks)
+                    if pre_ready > start:
+                        start = pre_ready
+                    if start == due:
+                        # On time — and then so is every remaining owed
+                        # refresh (tRFC < tREFI keeps each blackout inside
+                        # its own interval, and ready_pre is never raised
+                        # past it), so the tail collapses to arithmetic:
+                        # a long-idle rank catches up in O(1) instead of
+                        # O(elapsed / tREFI) loop iterations.
+                        k = (now - due) // t.tREFI + 1
+                        if account:
+                            s.refreshes_issued += k
+                        due += k * t.tREFI
+                        blackout = due - t.tREFI + t.tRFC
+                        for b in banks:
+                            b.open_row = None
+                            # ready_act is deliberately NOT raised (here
+                            # or below): the blackout gates ACTs through
+                            # _rank_act_bound, so the delay is attributed
+                            # as refresh_stalls.
+                            if blackout > b.ready_pre:
+                                b.ready_pre = blackout
+                        break
+                    if account:
+                        # Postponed for *any* reason — row activity or the
+                        # previous refresh's blackout chaining past due.
+                        s.refreshes_postponed += 1
+                        s.refreshes_issued += 1
+                    blackout = start + t.tRFC
+                    for b in banks:
+                        b.open_row = None
+                        if blackout > b.ready_pre:
+                            b.ready_pre = blackout
+                    due += t.tREFI
+                self._refresh_due[rank] = due
+                self._blackout_end[rank] = blackout
+        if self._page_policy == "timeout":
+            b = self.banks[bank_idx]
+            if b.open_row is not None:
+                # The PRE fires once the row has idled for the timeout —
+                # but never before it is legal (tRAS/tRTP/tWR composition).
+                pre_at = max(self._bank_last_end[bank_idx]
+                             + self._page_timeout, b.ready_pre)
+                if pre_at <= now:
+                    b.open_row = None
+                    nxt = pre_at + self.timings.tRP
+                    if nxt > b.ready_act:
+                        b.ready_act = nxt
+                    if account:
+                        self.stats.policy_closes += 1
+
+    def _capture_rank(self, rank: int) -> tuple:
+        """Scratch image of everything :meth:`_sync_rank` may touch."""
+        base = rank * self.org.banks_per_rank
+        return ([self.banks[base + i].capture()
+                 for i in range(self.org.banks_per_rank)],
+                self._refresh_due[rank], self._blackout_end[rank])
+
+    def _restore_rank(self, rank: int, saved: tuple) -> None:
+        base = rank * self.org.banks_per_rank
+        bank_states, due, blackout = saved
+        for i, state in enumerate(bank_states):
+            self.banks[base + i].restore(state)
+        self._refresh_due[rank] = due
+        self._blackout_end[rank] = blackout
+
+    def _rank_act_bound(self, rank: int, act: int) -> tuple[int, int]:
+        """Fold rank-level ACT constraints into a planned ACT time.
+
+        Returns ``(constrained_act, binding)`` where ``binding`` is 0 for
+        none, 1 for tRRD, 2 for tFAW, 3 for a refresh blackout (the
+        *latest*-binding constraint wins the attribution).
+        """
+        t = self.timings
+        binding = 0
+        hist = self._act_history[rank]
+        if hist:
+            if t.tRRD:
+                gated = hist[-1] + t.tRRD
+                if gated > act:
+                    act, binding = gated, 1
+            if t.tFAW and len(hist) == FAW_DEPTH:
+                gated = hist[0] + t.tFAW
+                if gated > act:
+                    act, binding = gated, 2
+        blackout = self._blackout_end[rank]
+        if blackout > act:
+            act, binding = blackout, 3
+        return act, binding
+
+    def _earliest_cas(self, b, rank: int, row: int,
+                      now: int) -> tuple[int, int]:
+        """Rank-constrained CAS time; returns ``(cas, binding)``.
+
+        ``binding`` (see :meth:`_rank_act_bound`) is nonzero when a rank
+        constraint, not the bank, delayed the activation.
+        """
+        t = self.timings
+        state = b.row_state(row)
+        if state == ROW_HIT:
+            return max(now, b.ready_cas), 0
+        if state == ROW_CLOSED:
+            act = max(now, b.ready_act)
+        else:
+            act = max(now, b.ready_pre) + t.tRP
+        act, binding = self._rank_act_bound(rank, act)
+        return act + t.tRCD, binding
+
+    # ------------------------------------------------------------- protocol
+
+    def estimate_burst_start(self, rank: int, bank: int, row: int,
+                             is_write: bool, now: int) -> int:
+        """Earliest burst start under full command-level constraints.
+
+        Pure, like the burst model's: the lazy refresh/page sync runs on
+        rank state that is rolled back before returning, and counters
+        are left untouched — so probing never changes a committed time
+        or a statistic (pinned by tests/test_substrate.py), while still
+        matching :meth:`issue`'s placement exactly.
+        """
+        idx = self.bank_index(rank, bank)
+        saved = self._capture_rank(rank)
+        self._sync_rank(rank, idx, now, account=False)
+        cas, _ = self._earliest_cas(self.banks[idx], rank, row, now)
+        start = self._bus_constrained_start(cas + self.timings.tCAS, is_write)
+        self._restore_rank(rank, saved)
+        return start
+
+    def issue(self, rank: int, bank: int, row: int, is_write: bool,
+              now: int) -> tuple[int, int]:
+        """Commit an access under rank constraints; ``(start, end)``."""
+        t = self.timings
+        idx = self.bank_index(rank, bank)
+        self._sync_rank(rank, idx, now)
+        b = self.banks[idx]
+        state = b.row_state(row)
+
+        cas, binding = self._earliest_cas(b, rank, row, now)
+        start, end = self._place_and_commit(b, row, cas, is_write)
+
+        if state != ROW_HIT:
+            # Effective ACT: back-dated like the CAS, so the recorded
+            # window is consistent with the bank's tRAS bookkeeping and
+            # never earlier than the constrained plan.
+            self._act_history[rank].append(start - t.tCAS - t.tRCD)
+            if binding == 1:
+                self.stats.rrd_stalls += 1
+            elif binding == 2:
+                self.stats.faw_stalls += 1
+            elif binding == 3:
+                self.stats.refresh_stalls += 1
+
+        if self._page_policy == "closed" and b.open_row is not None:
+            # Auto-precharge: Bank.commit already advanced ready_pre /
+            # ready_act for the implicit PRE; only the row closes here.
+            b.open_row = None
+            self.stats.policy_closes += 1
+        self._bank_last_end[idx] = end
+
+        self._account_issue(state, end, is_write)
+        return start, end
+
+    # -------------------------------------------------------- state capture
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["command"] = {
+            "act_history": [list(h) for h in self._act_history],
+            "refresh_due": list(self._refresh_due),
+            "blackout_end": list(self._blackout_end),
+            "bank_last_end": list(self._bank_last_end),
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        cmd = state["command"]
+        nranks = self.org.ranks_per_channel
+        # Validate the rank/bank structure before any mutation (the base
+        # class's bank-count check alone would accept a same-total but
+        # differently-ranked capture, e.g. 1x16 into 2x8).
+        if (len(cmd["act_history"]) != nranks
+                or len(cmd["refresh_due"]) != nranks
+                or len(cmd["blackout_end"]) != nranks
+                or len(cmd["bank_last_end"]) != len(self.banks)):
+            raise ValueError(
+                f"rank/bank structure mismatch: captured "
+                f"{len(cmd['refresh_due'])} ranks / "
+                f"{len(cmd['bank_last_end'])} banks, channel has "
+                f"{nranks} ranks / {len(self.banks)} banks")
+        super().restore_state(state)
+        self._act_history = [deque(h, maxlen=FAW_DEPTH)
+                             for h in cmd["act_history"]]
+        self._refresh_due = list(cmd["refresh_due"])
+        self._blackout_end = list(cmd["blackout_end"])
+        self._bank_last_end = list(cmd["bank_last_end"])

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from repro.config import DRAMOrganization, DRAMTimings
+from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
 from repro.dram.address import AddressMapper, DecodedAddress
-from repro.dram.channel import Channel
 from repro.dram.stats import ChannelStats
+from repro.dram.substrate import make_channel
 from repro.metrics.registry import MetricRegistry
 
 
@@ -13,32 +13,45 @@ class DRAMDevice:
     """All channels of the stacked DRAM plus address decoding.
 
     The controller owns one queue pair per channel; the device provides the
-    timing substrate those queues schedule onto.  Per-channel counter
+    timing substrate those queues schedule onto.  The substrate *model* is
+    pluggable (``SubstrateConfig.fidelity``; see repro.dram.substrate) —
+    every channel is built through :func:`~repro.dram.substrate.make_channel`
+    and the device itself is fidelity-agnostic.  Per-channel counter
     groups are published in :attr:`metrics` (``ch0``, ``ch1``, ...) so the
     controller/system registries can mount the substrate subtree directly.
     """
 
     def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
-                 xor_remap: bool = False):
+                 xor_remap: bool = False,
+                 substrate: SubstrateConfig | None = None):
         self.timings = timings
         self.org = org
+        self.substrate = (substrate if substrate is not None
+                          else SubstrateConfig())
         self.mapper = AddressMapper(org, xor_remap=xor_remap)
         self.metrics = MetricRegistry()
         self.channels = []
         for i in range(org.channels):
-            stats = ChannelStats()
-            self.metrics.register(f"ch{i}", stats)
-            self.channels.append(Channel(timings, org, stats=stats))
+            channel = make_channel(timings, org, self.substrate)
+            self.metrics.register(f"ch{i}", channel.stats)
+            self.channels.append(channel)
 
     def decode(self, addr: int) -> DecodedAddress:
         return self.mapper.decode(addr)
 
-    def channel(self, idx: int) -> Channel:
+    def channel(self, idx: int):
         return self.channels[idx]
 
     def total_stats(self) -> ChannelStats:
-        """Aggregate substrate counters across channels."""
-        return ChannelStats.sum([c.stats for c in self.channels])
+        """Aggregate substrate counters across channels.
+
+        Summed under the channels' own stats class, so command-fidelity
+        devices aggregate their extra counters too.
+        """
+        if not self.channels:
+            return ChannelStats()
+        cls = type(self.channels[0].stats)
+        return cls.sum([c.stats for c in self.channels])
 
     def reset_stats(self) -> None:
         self.metrics.reset()

@@ -53,3 +53,28 @@ class ChannelStats(MetricGroup):
         if total == 0:
             return 0.0
         return self.read_row_hits / total
+
+
+class CommandChannelStats(ChannelStats):
+    """Counters of the command-level substrate model.
+
+    A strict superset of :class:`ChannelStats`: only channels built at
+    ``fidelity="command"`` carry these, so burst-fidelity metric
+    snapshots (and the golden pins over them) keep their exact key set.
+    """
+
+    COUNTERS = ChannelStats.COUNTERS + (
+        "refreshes_issued",      # refresh cycles performed (per rank, summed)
+        "refreshes_postponed",   # refreshes that started after their due time
+        "faw_stalls",            # ACTs delayed by the four-ACT tFAW window
+        "rrd_stalls",            # ACTs delayed by same-rank tRRD spacing
+        "refresh_stalls",        # ACTs delayed by a tRFC rank blackout
+        "policy_closes",         # rows auto-precharged by the page policy
+    )
+
+    @derived
+    def refresh_postpone_rate(self) -> float:
+        """Fraction of refreshes that could not start on time."""
+        if self.refreshes_issued == 0:
+            return 0.0
+        return self.refreshes_postponed / self.refreshes_issued

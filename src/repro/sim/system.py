@@ -44,7 +44,12 @@ from repro.workloads.profiles import BenchmarkProfile
 #: older code are invalidated instead of silently reused (see DESIGN.md).
 #: v4: exact run termination (Simulator.stop at the last core's retiring
 #: event) — trailing-event accumulation differs from v3 entries.
-RESULT_SCHEMA_VERSION = 4
+#: v5: pluggable substrate fidelity — SystemConfig.substrate selects the
+#: DRAM model, and command-fidelity runs carry extra ChannelStats
+#: counters (refreshes, tFAW/tRRD/refresh stalls, policy closes) in the
+#: metrics snapshot.  Burst-fidelity values are bit-identical to v4; the
+#: bump invalidates cache entries because the key space gained an input.
+RESULT_SCHEMA_VERSION = 5
 
 
 class ResultSchemaError(ValueError):

@@ -293,16 +293,11 @@ def state_signature(system) -> dict:
     if hasattr(ctl, "schedule_all"):            # DCA extras
         sig["dca"] = {"schedule_all": list(ctl.schedule_all),
                       "rrpc": (ctl.rrpc._global, list(ctl.rrpc._set_at))}
-    sig["banks"] = [
-        [(b.open_row, b.act_time, b.ready_cas, b.ready_pre, b.ready_act)
-         for b in chan.banks]
-        for chan in ctl.device.channels
-    ]
-    sig["buses"] = [
-        (chan.bus_free, chan.bus_dir, chan._last_read_end,
-         chan._last_write_end)
-        for chan in ctl.device.channels
-    ]
+    # One value-image per channel through the substrate protocol, so every
+    # fidelity's full timing state (banks + bus, plus refresh/ACT-window/
+    # page-policy bookkeeping at command level) participates.
+    sig["substrate"] = [chan.capture_state()
+                       for chan in ctl.device.channels]
     sig["mainmem_bus_free"] = ctl.mainmem._bus_free
     sig["array"] = ctl.array.contents_signature()
     sig["l2"] = {

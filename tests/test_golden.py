@@ -1,18 +1,24 @@
-"""Golden-run regression pin: committed metric snapshots must not drift.
+"""Golden-run regression pins: committed metric snapshots must not drift.
 
-``tests/golden/fig08_quick.json`` holds the complete results (headline
-fields + full metrics tree) of a small fig08-style run set.  Any change
-to simulated behaviour — intended or not — trips this test with a
-readable per-metric diff, so refactors that are supposed to be
-behaviour-preserving (snapshot/restore, scheduler fast paths, warm-state
-forking) cannot silently bend results.
+Two fixtures, one mechanism:
 
-When a behaviour change is *intended*, regenerate the fixture and commit
-it together with the change::
+* ``tests/golden/fig08_quick.json`` — the complete results (headline
+  fields + full metrics tree) of a small fig08-style run set on the
+  default **burst** substrate.  Any change to simulated behaviour —
+  intended or not — trips this test with a readable per-metric diff, so
+  refactors that are supposed to be behaviour-preserving (snapshot/
+  restore, scheduler fast paths, warm-state forking, the substrate
+  protocol extraction) cannot silently bend results.
+* ``tests/golden/command_quick.json`` — the same pin for the
+  **command-level** substrate model (``substrate.fidelity=command``),
+  freezing the refresh/tFAW/tRRD/page-policy timing composition.
+
+When a behaviour change is *intended*, regenerate the fixtures and
+commit them together with the change::
 
     REPRO_REGOLD=1 PYTHONPATH=src python -m pytest tests/test_golden.py
 
-The fixture is calibrated on CI's platform (CPython on x86-64 Linux
+The fixtures are calibrated on CI's platform (CPython on x86-64 Linux
 glibc); exotic libm implementations could differ in float ulps.
 """
 
@@ -27,16 +33,23 @@ import pytest
 from repro.experiments.common import RunSpec, SimParams, run_one
 from repro.sim.system import RESULT_SCHEMA_VERSION
 
-GOLDEN_PATH = Path(__file__).parent / "golden" / "fig08_quick.json"
+GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: one point per controller design over Table I mix 1 at quick scale
-SPECS = [RunSpec(d, "sa", mix_id=1) for d in ("CD", "ROD", "DCA")]
+BURST_SPECS = [RunSpec(d, "sa", mix_id=1) for d in ("CD", "ROD", "DCA")]
+
+#: command-fidelity pins: two designs so cross-design timing interplay
+#: (PR/LR scheduling over refresh + rank throttling) is frozen too
+COMMAND_SPECS = [
+    RunSpec(d, "sa", mix_id=1, config=(("substrate.fidelity", "command"),))
+    for d in ("CD", "DCA")
+]
 
 
-def compute_entries() -> dict:
+def compute_entries(specs) -> dict:
     params = SimParams.quick()
     entries = {}
-    for spec in SPECS:
+    for spec in specs:
         result = run_one(spec, params)
         data = result.to_cache_dict()
         data.pop("meta")            # provenance, not behaviour
@@ -65,21 +78,21 @@ def walk_diff(expected, actual, path: str = "") -> list[str]:
     return lines
 
 
-def test_golden_fig08_quick():
-    entries = compute_entries()
+def check_golden(golden_path: Path, specs) -> None:
+    entries = compute_entries(specs)
 
     if os.environ.get("REPRO_REGOLD"):
-        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN_PATH.write_text(json.dumps(
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(json.dumps(
             {"result_schema_version": RESULT_SCHEMA_VERSION,
              "params": "quick", "entries": entries},
             indent=2, sort_keys=True) + "\n")
-        pytest.skip(f"regenerated {GOLDEN_PATH}")
+        pytest.skip(f"regenerated {golden_path}")
 
-    assert GOLDEN_PATH.exists(), (
-        f"missing golden fixture {GOLDEN_PATH}; generate with "
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; generate with "
         f"REPRO_REGOLD=1 PYTHONPATH=src python -m pytest tests/test_golden.py")
-    golden = json.loads(GOLDEN_PATH.read_text())
+    golden = json.loads(golden_path.read_text())
     assert golden["result_schema_version"] == RESULT_SCHEMA_VERSION, (
         "result schema changed: regenerate the golden fixture "
         "(REPRO_REGOLD=1) and review the diff it pins")
@@ -96,3 +109,24 @@ def test_golden_fig08_quick():
         "(intended? regenerate with REPRO_REGOLD=1 and commit the diff):\n"
         + "\n".join(diffs[:40])
         + (f"\n  ... and {len(diffs) - 40} more" if len(diffs) > 40 else ""))
+
+
+def test_golden_fig08_quick():
+    check_golden(GOLDEN_DIR / "fig08_quick.json", BURST_SPECS)
+
+
+def test_golden_command_fidelity():
+    check_golden(GOLDEN_DIR / "command_quick.json", COMMAND_SPECS)
+
+
+def test_command_fidelity_exercises_new_mechanisms():
+    """The command pin must actually pin refresh + rank throttling — a
+    golden of a run where the mechanisms never fired would pin nothing."""
+    golden_path = GOLDEN_DIR / "command_quick.json"
+    if not golden_path.exists():
+        pytest.skip("command golden not generated yet")
+    golden = json.loads(golden_path.read_text())
+    for label, entry in golden["entries"].items():
+        total = entry["metrics"]["substrate_total"]
+        assert total["refreshes_issued"] > 0, label
+        assert total["rrd_stalls"] + total["faw_stalls"] > 0, label

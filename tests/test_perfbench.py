@@ -51,3 +51,39 @@ class TestHarness:
         assert dl_data["equivalence_checked"] is True
         assert len(dl_data["scenarios"]) == len(SCENARIOS)
         assert dl_data["geomean_speedup"] > 0
+
+
+class TestSubstrateLoop:
+    def test_substrate_section_structure(self):
+        from repro.bench.substrate_loop import run_substrate_loop
+        data = run_substrate_loop(quick=True)
+        assert {s["name"] for s in data["scenarios"]} == {
+            "issue_loop_steady", "issue_loop_bursty"}
+        for s in data["scenarios"]:
+            assert s["burst_per_s"] > 0 and s["command_per_s"] > 0
+            assert s["command_overhead_x"] > 0
+            # The bursty stream must actually exercise refresh catch-up,
+            # else the overhead number would not measure fidelity work.
+            if s["name"] == "issue_loop_bursty":
+                assert s["command_counters"]["refreshes_issued"] > 0
+        assert data["max_command_overhead_x"] > 0
+
+    def test_section_selection(self, tmp_path):
+        path = run_perf(quick=True, label="subonly", out_dir=tmp_path,
+                        sections=("substrate",))
+        data = json.loads(path.read_text())
+        assert data["sections"] == ["substrate"]
+        assert "substrate" in data
+        assert "decision_loop" not in data and "end_to_end" not in data
+
+    def test_unknown_section_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sections"):
+            run_perf(quick=True, label="x", out_dir=tmp_path,
+                     sections=("cycle_accurate",))
+
+    def test_sections_field_reflects_suppressed_e2e(self, tmp_path):
+        path = run_perf(quick=True, label="noe2e", out_dir=tmp_path,
+                        end_to_end=False, sections=("substrate", "e2e"))
+        data = json.loads(path.read_text())
+        assert data["sections"] == ["substrate"]
+        assert "end_to_end" not in data

@@ -1,0 +1,475 @@
+"""Substrate protocol + timing invariants for both fidelity models.
+
+Property-style pins over random issue streams:
+
+* bursts never overlap on the shared data bus and ``bus_free`` is
+  monotone (both fidelities, every page policy);
+* CAS spacing respects the tRCD / tRP+tRCD composition on closed /
+  conflicting rows;
+* the command model admits at most four ACTs per rank inside any tFAW
+  window and spaces same-rank ACTs by at least tRRD;
+* ``estimate_burst_start`` always equals the start ``issue`` commits;
+* refresh fires on schedule, blacks the rank out for tRFC, and is
+  accounted (issued / postponed / ACT stalls);
+* page policies close rows (and are visible as row-closed accesses);
+* lazy bookkeeping is deterministic: interleaving estimates with issues
+  never changes any committed time or counter;
+* the substrate config rides the sweep axis machinery end to end with
+  the new counters visible in results.json.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    DRAMOrganization,
+    DRAMTimings,
+    SubstrateConfig,
+    ns,
+)
+from repro.dram.bank import ROW_HIT, RowState
+from repro.dram.channel import Channel
+from repro.dram.command import FAW_DEPTH, CommandChannel
+from repro.dram.stats import ChannelStats, CommandChannelStats
+from repro.dram.substrate import Substrate, make_channel
+
+T = DRAMTimings.stacked()
+ORG = DRAMOrganization(ranks_per_channel=2, banks_per_rank=8)
+
+FIDELITY_POINTS = [
+    SubstrateConfig(),
+    SubstrateConfig(fidelity="command"),
+    SubstrateConfig(fidelity="command", page_policy="closed"),
+    SubstrateConfig(fidelity="command", page_policy="timeout"),
+    SubstrateConfig(fidelity="command", refresh=False),
+]
+
+
+def _ids(sub: SubstrateConfig) -> str:
+    return f"{sub.fidelity}-{sub.page_policy}" + ("" if sub.refresh else "-norefresh")
+
+
+def random_stream(rng: random.Random, n: int):
+    """(rank, bank, row, is_write, now) with a drifting decision clock."""
+    now = 0
+    for _ in range(n):
+        yield (rng.randrange(ORG.ranks_per_channel),
+               rng.randrange(ORG.banks_per_rank),
+               rng.randrange(16), rng.random() < 0.3, now)
+        # Mostly same-time batches (the controller's issue window), with
+        # occasional jumps past refresh intervals and page timeouts.
+        r = rng.random()
+        if r < 0.6:
+            pass
+        elif r < 0.9:
+            now += rng.randrange(1, 3 * T.tBURST)
+        else:
+            now += rng.randrange(T.tREFI // 2, 2 * T.tREFI)
+
+
+class TestTimingsValidation:
+    def test_stock_timings_valid(self):
+        DRAMTimings.stacked()
+        DRAMTimings.ddr3_1600()
+
+    @pytest.mark.parametrize("field", ["tRCD", "tCAS", "tRP", "tRAS",
+                                       "tWTR", "tRTP", "tRTW", "tWR",
+                                       "tBURST"])
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_core_timings_must_be_positive(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            replace(DRAMTimings.stacked(), **{field: bad})
+
+    @pytest.mark.parametrize("field", ["tRRD", "tFAW", "tREFI", "tRFC"])
+    def test_rank_timings_reject_negative(self, field):
+        with pytest.raises(ValueError, match=field):
+            replace(DRAMTimings.stacked(), **{field: -1})
+
+    def test_rank_timings_zero_disables(self):
+        t = replace(DRAMTimings.stacked(), tRRD=0, tFAW=0, tREFI=0, tRFC=0)
+        assert t.tFAW == 0
+
+    def test_faw_shorter_than_rrd_rejected(self):
+        with pytest.raises(ValueError, match="tFAW"):
+            replace(DRAMTimings.stacked(), tRRD=ns(10), tFAW=ns(5))
+
+    def test_rfc_swallowing_refi_rejected(self):
+        with pytest.raises(ValueError, match="tRFC"):
+            replace(DRAMTimings.stacked(), tREFI=ns(100), tRFC=ns(100))
+
+    def test_refi_without_rfc_rejected(self):
+        with pytest.raises(ValueError, match="tRFC"):
+            replace(DRAMTimings.stacked(), tRFC=0)
+
+
+class TestSubstrateConfigValidation:
+    def test_defaults(self):
+        sub = SubstrateConfig()
+        assert sub.fidelity == "burst" and sub.page_policy == "open"
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            SubstrateConfig(fidelity="cycle")
+
+    def test_unknown_page_policy_rejected(self):
+        with pytest.raises(ValueError, match="page policy"):
+            SubstrateConfig(page_policy="adaptive")
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError, match="page_timeout_ps"):
+            SubstrateConfig(page_timeout_ps=0)
+
+    def test_factory_rejects_unknown_fidelity(self):
+        # Bypass SubstrateConfig's own validation to pin the factory's.
+        class Fake:
+            fidelity = "cycle"
+        with pytest.raises(ValueError, match="fidelity"):
+            make_channel(T, ORG, Fake())
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("sub", FIDELITY_POINTS, ids=_ids)
+    def test_models_satisfy_protocol(self, sub):
+        assert isinstance(make_channel(T, ORG, sub), Substrate)
+
+    def test_factory_picks_model_and_stats(self):
+        burst = make_channel(T, ORG)
+        cmd = make_channel(T, ORG, SubstrateConfig(fidelity="command"))
+        assert type(burst) is Channel
+        assert type(cmd) is CommandChannel
+        # Burst keeps the plain counter group: its metric snapshots (and
+        # the golden pins over them) must not grow command-only keys.
+        assert type(burst.stats) is ChannelStats
+        assert type(cmd.stats) is CommandChannelStats
+        assert "refreshes_issued" not in burst.stats.snapshot()
+        assert "refreshes_issued" in cmd.stats.snapshot()
+
+    def test_row_state_enum_single_definition(self):
+        from repro.dram import channel as chmod
+        from repro.dram import bank as bmod
+        assert chmod.RowState is bmod.RowState
+        assert RowState.HIT == ROW_HIT == 0
+
+
+class TestBusInvariants:
+    @pytest.mark.parametrize("sub", FIDELITY_POINTS, ids=_ids)
+    def test_bursts_never_overlap_and_bus_monotone(self, sub):
+        rng = random.Random(0xB05)
+        ch = make_channel(T, ORG, sub)
+        prev_end = 0
+        prev_bus_free = 0
+        for rank, bank, row, is_write, now in random_stream(rng, 400):
+            start, end = ch.issue(rank, bank, row, is_write, now)
+            assert end - start == T.tBURST
+            assert start >= now
+            assert start >= prev_end, "bursts overlapped on the bus"
+            assert ch.bus_free >= prev_bus_free, "bus_free went backwards"
+            prev_end, prev_bus_free = end, ch.bus_free
+
+    @pytest.mark.parametrize("sub", FIDELITY_POINTS, ids=_ids)
+    def test_estimate_matches_issue(self, sub):
+        rng = random.Random(0xE57)
+        ch = make_channel(T, ORG, sub)
+        for rank, bank, row, is_write, now in random_stream(rng, 300):
+            est = ch.estimate_burst_start(rank, bank, row, is_write, now)
+            start, _ = ch.issue(rank, bank, row, is_write, now)
+            assert est == start
+
+
+class TestCasComposition:
+    @pytest.mark.parametrize("sub", [SubstrateConfig(),
+                                     SubstrateConfig(fidelity="command")],
+                             ids=["burst", "command"])
+    def test_closed_row_pays_trcd(self, sub):
+        ch = make_channel(T, ORG, sub)
+        start, _ = ch.issue(0, 0, 5, False, 0)
+        assert start >= T.tRCD + T.tCAS
+
+    @pytest.mark.parametrize("sub", [SubstrateConfig(),
+                                     SubstrateConfig(fidelity="command")],
+                             ids=["burst", "command"])
+    def test_conflict_pays_trp_trcd(self, sub):
+        ch = make_channel(T, ORG, sub)
+        _, end = ch.issue(0, 0, 5, False, 0)
+        # Decide long after tRAS/tRTP windows so only tRP+tRCD remain.
+        now = end + T.tRAS + T.tWR
+        start, _ = ch.issue(0, 0, 6, False, now)
+        assert start >= now + T.tRP + T.tRCD + T.tCAS
+
+    @pytest.mark.parametrize("sub", [SubstrateConfig(),
+                                     SubstrateConfig(fidelity="command")],
+                             ids=["burst", "command"])
+    def test_row_hit_skips_activation(self, sub):
+        ch = make_channel(T, ORG, sub)
+        _, end = ch.issue(0, 0, 5, False, 0)
+        now = end
+        start, _ = ch.issue(0, 0, 5, False, now)
+        assert start < now + T.tRCD + T.tCAS
+
+
+class TestRankConstraints:
+    def _act_times(self, stream_len=600, seed=0xFA3):
+        """Issue a random stream; return per-rank effective ACT times."""
+        rng = random.Random(seed)
+        ch = make_channel(T, ORG, SubstrateConfig(fidelity="command"))
+        acts: dict[int, list[int]] = {r: [] for r in
+                                      range(ORG.ranks_per_channel)}
+        for rank, bank, row, is_write, now in random_stream(rng, stream_len):
+            pre_state = ch.banks[ch.bank_index(rank, bank)].row_state(row)
+            start, _ = ch.issue(rank, bank, row, is_write, now)
+            if pre_state != ROW_HIT:
+                acts[rank].append(start - T.tCAS - T.tRCD)
+        return acts
+
+    def test_at_most_four_acts_per_faw_window(self):
+        acts = self._act_times()
+        assert any(len(v) > FAW_DEPTH for v in acts.values()), \
+            "stream too small to exercise the window"
+        for rank, times in acts.items():
+            assert times == sorted(times)
+            for i in range(FAW_DEPTH, len(times)):
+                assert times[i] - times[i - FAW_DEPTH] >= T.tFAW, (
+                    f"rank {rank}: five ACTs inside one tFAW window "
+                    f"at index {i}")
+
+    def test_trrd_spacing(self):
+        for rank, times in self._act_times(seed=0x44D).items():
+            for a, b in zip(times, times[1:]):
+                assert b - a >= T.tRRD, f"rank {rank}: ACTs {a},{b}"
+
+    def test_ranks_are_independent(self):
+        """Saturating rank 0's ACT window must not delay rank 1."""
+        ch = make_channel(T, ORG, SubstrateConfig(fidelity="command"))
+        for b in range(FAW_DEPTH):
+            ch.issue(0, b, 3, False, 0)
+        assert ch.stats.rrd_stalls + ch.stats.faw_stalls >= FAW_DEPTH - 1
+        est_rank1 = ch.estimate_burst_start(1, 0, 3, False, 0)
+        # Rank 1's first ACT is bus-bound only, never window-bound.
+        assert est_rank1 <= ch.bus_free + T.tBURST
+
+    def test_disabled_by_zero_timings(self):
+        t = replace(T, tRRD=0, tFAW=0)
+        ch = CommandChannel(t, ORG, substrate=SubstrateConfig(
+            fidelity="command"))
+        for b in range(8):
+            ch.issue(0, b, 3, False, 0)
+        assert ch.stats.rrd_stalls == 0
+        assert ch.stats.faw_stalls == 0
+
+
+class TestRefresh:
+    def make(self, refresh=True, **tweaks):
+        t = replace(T, **tweaks) if tweaks else T
+        return CommandChannel(t, ORG, substrate=SubstrateConfig(
+            fidelity="command", refresh=refresh))
+
+    def test_refresh_count_tracks_elapsed_time(self):
+        ch = self.make()
+        ch.issue(0, 0, 1, False, 0)
+        k = 9
+        ch.issue(0, 0, 1, False, k * T.tREFI + T.tREFI // 2)
+        # Rank 0 owed k refreshes over the idle gap (give or take the one
+        # whose due time the second access straddles).
+        assert k - 1 <= ch.stats.refreshes_issued <= k + 1
+
+    def test_refresh_closes_rows(self):
+        ch = self.make()
+        ch.issue(0, 0, 7, False, 0)
+        assert ch.banks[0].open_row == 7
+        ch.issue(0, 1, 3, False, 2 * T.tREFI)   # sync via a sibling bank
+        assert ch.banks[0].open_row is None, "refresh must precharge"
+
+    def test_act_after_refresh_waits_for_blackout(self):
+        ch = self.make()
+        ch.issue(0, 0, 1, False, 0)
+        now = T.tREFI + 1          # just past the due time
+        start, _ = ch.issue(0, 2, 5, False, now)
+        assert start >= T.tREFI + T.tRFC + T.tRCD + T.tCAS
+        assert ch.stats.refresh_stalls == 1
+
+    def test_postponed_refresh_accounted(self):
+        ch = self.make()
+        # Park an access just before the due time: its tRAS/tRTP window
+        # makes the rank un-prechargeable at the due instant.
+        ch.issue(0, 0, 1, False, T.tREFI - T.tBURST)
+        ch.issue(0, 1, 2, False, T.tREFI + T.tRAS)
+        assert ch.stats.refreshes_issued == 1
+        assert ch.stats.refreshes_postponed == 1
+        assert ch.stats.refresh_postpone_rate == 1.0
+
+    def test_refresh_off_by_config(self):
+        ch = self.make(refresh=False)
+        ch.issue(0, 0, 1, False, 0)
+        ch.issue(0, 0, 1, False, 20 * T.tREFI)
+        assert ch.stats.refreshes_issued == 0
+
+    def test_refresh_off_by_zero_trefi(self):
+        ch = self.make(tREFI=0, tRFC=0)
+        ch.issue(0, 0, 1, False, 0)
+        ch.issue(0, 0, 1, False, 10**9)
+        assert ch.stats.refreshes_issued == 0
+
+
+class TestPagePolicies:
+    def test_closed_policy_precharges_every_access(self):
+        ch = make_channel(T, ORG, SubstrateConfig(
+            fidelity="command", page_policy="closed"))
+        ch.issue(0, 0, 5, False, 0)
+        assert ch.banks[0].open_row is None
+        ch.issue(0, 0, 5, False, 10**6)
+        assert ch.stats.policy_closes == 2
+        assert ch.stats.read_row_hits == 0
+        assert ch.stats.read_row_closed == 2
+
+    def test_timeout_policy_closes_idle_rows_only(self):
+        sub = SubstrateConfig(fidelity="command", page_policy="timeout",
+                              page_timeout_ps=ns(100))
+        ch = make_channel(T, ORG, sub)
+        _, end = ch.issue(0, 0, 5, False, 0)
+        # Quick re-access: still a row hit.
+        _, end = ch.issue(0, 0, 5, False, end + ns(10))
+        assert ch.stats.read_row_hits == 1
+        # Long idle: the policy precharged at last_end + timeout.
+        start, _ = ch.issue(0, 0, 5, False, end + ns(500))
+        assert ch.stats.policy_closes == 1
+        assert ch.stats.read_row_closed == 2   # cold open + re-open
+        assert ch.banks[0].open_row == 5
+
+    def test_open_policy_never_closes(self):
+        ch = make_channel(T, ORG, SubstrateConfig(fidelity="command",
+                                                  refresh=False))
+        _, end = ch.issue(0, 0, 5, False, 0)
+        ch.issue(0, 0, 5, False, end + 10 * T.tREFI)
+        assert ch.stats.policy_closes == 0
+        assert ch.stats.read_row_hits == 1
+
+
+class TestDeterminism:
+    def test_estimates_never_perturb_outcomes(self):
+        """The command model's lazy bookkeeping mutates on queries; the
+        committed schedule must be identical whether or not estimates
+        were interleaved (else scheduler probing would bend results)."""
+        rng = random.Random(0xDE7)
+        stream = list(random_stream(rng, 300))
+        sub = SubstrateConfig(fidelity="command", page_policy="timeout")
+
+        plain = make_channel(T, ORG, sub)
+        probed = make_channel(T, ORG, sub)
+        outs_plain, outs_probed = [], []
+        for rank, bank, row, is_write, now in stream:
+            outs_plain.append(plain.issue(rank, bank, row, is_write, now))
+            # Probe several unrelated banks first, then issue.
+            for b in range(ORG.banks_per_rank):
+                probed.estimate_burst_start(rank ^ 1, b, row, not is_write,
+                                            now)
+                probed.estimate_burst_start(rank, b, row, is_write, now)
+            outs_probed.append(probed.issue(rank, bank, row, is_write, now))
+        assert outs_plain == outs_probed
+        assert plain.stats == probed.stats
+
+    def test_capture_restore_replays_identically(self):
+        rng = random.Random(0xCAF)
+        stream = list(random_stream(rng, 240))
+        sub = SubstrateConfig(fidelity="command", page_policy="timeout")
+        ch = make_channel(T, ORG, sub)
+        for rank, bank, row, is_write, now in stream[:120]:
+            ch.issue(rank, bank, row, is_write, now)
+        snap = ch.capture_state()
+
+        fork = make_channel(T, ORG, sub)
+        fork.restore_state(snap)
+        assert fork.capture_state() == snap
+        tail = [ch.issue(*op) for op in stream[120:]]
+        fork_tail = [fork.issue(*op) for op in stream[120:]]
+        assert tail == fork_tail
+        assert ch.capture_state() == fork.capture_state()
+
+    def test_restore_rejects_bank_mismatch(self):
+        ch = make_channel(T, ORG)
+        other = make_channel(T, DRAMOrganization(ranks_per_channel=1,
+                                                 banks_per_rank=4))
+        with pytest.raises(ValueError, match="bank count"):
+            other.restore_state(ch.capture_state())
+
+
+class TestSweepIntegration:
+    def test_fidelity_axis_compiles(self):
+        from repro.scenarios.spec import SweepSpec
+        sweep = SweepSpec(name="sub", axes={
+            "substrate.fidelity": ["burst", "command"]},
+            base={"mix_id": 1})
+        points = sweep.compile()
+        assert len(points) == 2
+        assert [dict(p.spec.config)["substrate.fidelity"] for p in points] \
+            == ["burst", "command"]
+
+    def test_bad_fidelity_axis_is_a_spec_error(self):
+        from repro.scenarios.spec import SweepSpec
+        with pytest.raises(ValueError, match="fidelity"):
+            SweepSpec(name="sub", axes={
+                "substrate.fidelity": ["burst", "cycle"]},
+                base={"mix_id": 1})
+
+    def test_sweep_end_to_end_surfaces_command_counters(self, tmp_path):
+        """`dca-repro sweep --axis substrate.fidelity=burst,command` runs
+        through the full engine, and the command point's results.json
+        metrics snapshot carries the refresh/tFAW counters."""
+        import json
+        from repro.experiments.common import SimParams
+        from repro.scenarios.executor import run_sweep
+        from repro.scenarios.spec import SweepSpec
+
+        sweep = SweepSpec(
+            name="subfid",
+            axes={"substrate.fidelity": ["burst", "command"]},
+            # Short tREFI so refresh fires at this tiny scale.
+            base={"mix_id": 1, "timings.tREFI": 400_000})
+        params = SimParams(warmup_insts=2_000, measure_insts=6_000,
+                           replay_accesses=1_000)
+        outcome = run_sweep(sweep, params, jobs=1, out_dir=tmp_path,
+                            cache_dir=tmp_path / "cache")
+        assert not outcome.failures
+        data = json.loads((tmp_path / "subfid" / "results.json").read_text())
+        by_fid = {p["axes"]["substrate.fidelity"]: p["result"]
+                  for p in data["points"]}
+        burst_sub = by_fid["burst"]["metrics"]["substrate_total"]
+        cmd_sub = by_fid["command"]["metrics"]["substrate_total"]
+        assert "refreshes_issued" not in burst_sub
+        assert cmd_sub["refreshes_issued"] > 0
+        assert cmd_sub["rrd_stalls"] + cmd_sub["faw_stalls"] > 0
+        # The command model's constraints cost simulated time.
+        assert (by_fid["command"]["elapsed_ps"]
+                != by_fid["burst"]["elapsed_ps"])
+
+
+def test_command_channel_rejects_plain_stats():
+    from repro.dram.stats import ChannelStats
+    with pytest.raises(TypeError, match="CommandChannelStats"):
+        make_channel(T, ORG, SubstrateConfig(fidelity="command"),
+                     stats=ChannelStats())
+
+
+def test_command_restore_rejects_rank_mismatch():
+    sub = SubstrateConfig(fidelity="command")
+    one_by_16 = make_channel(T, DRAMOrganization(ranks_per_channel=1,
+                                                 banks_per_rank=16), sub)
+    two_by_8 = make_channel(T, ORG, sub)
+    # Same total bank count: only the rank-structure check can catch it.
+    with pytest.raises(ValueError, match="rank/bank structure"):
+        two_by_8.restore_state(one_by_16.capture_state())
+
+
+def test_failed_restore_leaves_channel_unchanged():
+    ch = make_channel(T, ORG)
+    ch.issue(0, 0, 5, False, 0)
+    before = ch.capture_state()
+    foreign = make_channel(T, DRAMOrganization(ranks_per_channel=1,
+                                               banks_per_rank=4))
+    foreign.issue(0, 1, 2, True, 0)
+    with pytest.raises(ValueError):
+        ch.restore_state(foreign.capture_state())
+    assert ch.capture_state() == before, "rejected restore must be atomic"
