@@ -1,0 +1,91 @@
+"""The pluggable-fidelity substrate protocol and its factory.
+
+Everything above the DRAM — schedulers, the controller designs, the
+snapshot layer — consumes a channel through one narrow surface, the
+:class:`Substrate` protocol:
+
+* ``row_state`` / ``estimate_burst_start`` — pure scheduling queries
+  (plus direct reads of ``banks[i].open_row`` on the scheduler hot path);
+* ``issue`` — commit one access, returning ``(burst_start, burst_end)``;
+* ``reset_stats`` — warm-up boundary;
+* ``capture_state`` / ``restore_state`` — value-only timing-state images
+  for the snapshot/differential machinery.
+
+Two models implement it:
+
+* ``fidelity="burst"`` — :class:`repro.dram.channel.Channel`, the
+  access-granular default.  Collapses the command pipeline the way
+  controller-design studies do; fastest, and the model every paper
+  figure is calibrated on.
+* ``fidelity="command"`` — :class:`repro.dram.command.CommandChannel`,
+  which additionally enforces per-rank ACT throttling (tRRD / tFAW),
+  periodic refresh (tREFI / tRFC with postpone accounting) and
+  pluggable page policies (open / closed / timeout).
+
+:func:`make_channel` is the one construction point; the
+:class:`~repro.config.SubstrateConfig` it consumes rides on
+``SystemConfig.substrate``, so ``dca-repro sweep --axis
+substrate.fidelity=burst,command`` sweeps the substrate like any other
+config path.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
+from repro.dram.bank import RowState
+from repro.dram.channel import Channel
+from repro.dram.command import CommandChannel
+from repro.dram.stats import ChannelStats
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """The query/commit surface controllers and schedulers consume.
+
+    Structural: any object with these members is a substrate.  The two
+    shipped models share :class:`~repro.dram.channel.Channel`'s bus core,
+    but a foreign implementation only needs this surface plus the
+    ``banks`` list (``open_row`` / ``row_state`` per bank) the scheduler
+    fast paths read directly.
+    """
+
+    banks: list
+    bus_free: int
+    stats: ChannelStats
+
+    def bank_index(self, rank: int, bank: int) -> int: ...
+
+    def row_state(self, rank: int, bank: int, row: int) -> RowState: ...
+
+    def estimate_burst_start(self, rank: int, bank: int, row: int,
+                             is_write: bool, now: int) -> int: ...
+
+    def issue(self, rank: int, bank: int, row: int, is_write: bool,
+              now: int) -> tuple[int, int]: ...
+
+    def reset_stats(self) -> None: ...
+
+    def capture_state(self) -> dict: ...
+
+    def restore_state(self, state: dict) -> None: ...
+
+
+def make_channel(timings: DRAMTimings, org: DRAMOrganization,
+                 substrate: SubstrateConfig | None = None,
+                 stats: ChannelStats | None = None):
+    """Construct one channel of the configured fidelity.
+
+    With ``stats=None`` the model picks its own counter group —
+    :class:`~repro.dram.stats.ChannelStats` for burst,
+    :class:`~repro.dram.stats.CommandChannelStats` (a superset) for
+    command — so burst-fidelity metric snapshots stay bit-identical to
+    the pre-protocol layout.
+    """
+    sub = substrate if substrate is not None else SubstrateConfig()
+    if sub.fidelity == "burst":
+        return Channel(timings, org, stats=stats)
+    if sub.fidelity == "command":
+        return CommandChannel(timings, org, stats=stats, substrate=sub)
+    raise ValueError(f"unknown substrate fidelity {sub.fidelity!r}")
