@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Regression gate: compare a BENCH JSON against the committed floor.
+
+Usage::
+
+    python benchmarks/perf/check_floor.py BENCH_ci.json
+    python benchmarks/perf/check_floor.py BENCH_ci.json --tolerance 0.15
+
+``floor.json`` (next to this script) pins reference values for the
+harness's *speedup ratios* — never absolute wall clocks, which track the
+machine, but ratios of two measurements taken on the same machine in the
+same process, which are comparable across runners.  A metric fails when
+
+    observed < floor * (1 - tolerance)
+
+i.e. more than ``tolerance`` (default 15 %) below its reference.  Missing
+metrics fail too: a section silently dropping out of the BENCH file must
+not read as a pass.  Exit status 0 = all metrics hold, 1 = regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLOOR_PATH = Path(__file__).resolve().parent / "floor.json"
+
+
+def lookup(data: dict, dotted: str):
+    """Resolve ``a.b.c`` into nested dicts; None when any hop is absent."""
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(bench: dict, floor: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = pass), printing a table."""
+    failures = []
+    print(f"{'metric':<40} {'floor':>8} {'min ok':>8} {'observed':>9}")
+    for metric, ref in floor["metrics"].items():
+        threshold = ref * (1.0 - tolerance)
+        observed = lookup(bench, metric)
+        if observed is None:
+            print(f"{metric:<40} {ref:>8.2f} {threshold:>8.2f} {'MISSING':>9}")
+            failures.append(f"{metric}: missing from BENCH file")
+            continue
+        status = "ok" if observed >= threshold else "FAIL"
+        print(f"{metric:<40} {ref:>8.2f} {threshold:>8.2f} "
+              f"{observed:>9.2f}  {status}")
+        if observed < threshold:
+            failures.append(
+                f"{metric}: {observed:.3f} < {threshold:.3f} "
+                f"(floor {ref:.3f} - {tolerance:.0%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("bench", help="BENCH_<label>.json to check")
+    p.add_argument("--floor", default=str(FLOOR_PATH),
+                   help="floor file (default: floor.json beside this script)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="allowed fractional drop below the floor "
+                        "(default: the floor file's own, else 0.15)")
+    args = p.parse_args(argv)
+
+    bench = json.loads(Path(args.bench).read_text())
+    floor = json.loads(Path(args.floor).read_text())
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = floor.get("tolerance", 0.15)
+
+    failures = check(bench, floor, tolerance)
+    if failures:
+        print("\nperf floor violated:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(floor['metrics'])} metrics within "
+          f"{tolerance:.0%} of floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

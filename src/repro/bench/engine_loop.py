@@ -1,0 +1,174 @@
+"""Event-engine benchmarks: heap vs calendar micro ops + end-to-end grid.
+
+Two families, both equivalence-checked before any number is recorded:
+
+* **micro** — raw schedule / cancel / pop throughput of the two engines
+  on an identical synthetic trace: timestamps drawn from an LCG over a
+  ~0.5 µs window in units of ``tCK`` (heavy same-timestamp ties, the
+  shape a DRAM simulation actually produces), 20 % of handles cancelled
+  before the drain.  After each engine drains, ``(now, events_run)``
+  must match between engines or the run raises.
+
+* **e2e** — the quick fig08-style grid (`run_end_to_end`) executed twice
+  in-process, once per engine, by overriding
+  :data:`repro.sim.engine.DEFAULT_ENGINE` (``make_simulator`` resolves
+  ``None`` at call time precisely so this comparison stays honest: same
+  process, same warmed interpreter, only the engine differs).  The two
+  result dicts are compared field-by-field (modulo ``meta``) and a
+  mismatch **raises** — a speedup that bends simulation results must
+  never land in a BENCH file.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import repro.sim.engine as engine_mod
+from repro.config import paper_config
+from repro.sim.engine import make_simulator
+
+#: fraction of scheduled events cancelled before the drain phase
+_CANCEL_EVERY = 5
+
+#: event-count depths; quick keeps CI smoke under a second per engine
+_DEPTHS_QUICK = (4096, 65536)
+_DEPTHS_FULL = (4096, 65536, 262144)
+
+
+def _lcg_times(n: int, seed: int, tck: int) -> list:
+    """Deterministic timestamp trace: dense, tie-heavy, calendar-friendly.
+
+    ``tck * (1 + state % 600)`` spans ~0.5 µs — comfortably inside the
+    calendar ring for paper timings, with many exact collisions, which
+    is the distribution a running simulation feeds the engine.
+    """
+    state = seed & 0x7FFFFFFF or 1
+    out = []
+    append = out.append
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        append(tck * (1 + state % 600))
+    return out
+
+
+def _time_engine(kind: str, times: list) -> dict:
+    """Schedule all, cancel every 5th, drain; per-phase wall seconds."""
+    sim = make_simulator(kind)
+    noop = id                        # C-level callable: measures the engine
+    at = sim.at
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        handles = [at(t, noop, None) for t in times]
+        t1 = time.perf_counter()
+        for ev in handles[::_CANCEL_EVERY]:
+            ev.cancel()
+        t2 = time.perf_counter()
+        # Drop the handle list so the calendar engine's refcount-gated
+        # freelist can recycle events during the drain (the simulation
+        # proper never retains handles to already-dispatched events).
+        del handles
+        sim.run()
+        t3 = time.perf_counter()
+    finally:
+        gc.enable()
+    return {
+        "schedule_s": t1 - t0,
+        "cancel_s": t2 - t1,
+        "pop_s": t3 - t2,
+        "now": sim.now,
+        "events_run": sim.events_run,
+    }
+
+
+def run_engine_micro(quick: bool = False, seed: int = 0) -> dict:
+    """Heap vs calendar on raw engine operations; returns per-depth table."""
+    tck = paper_config().timings.tCK
+    depths = _DEPTHS_QUICK if quick else _DEPTHS_FULL
+    rows = []
+    for n in depths:
+        times = _lcg_times(n, seed + n, tck)
+        heap = _time_engine("heap", times)
+        cal = _time_engine("calendar", times)
+        if (heap["now"], heap["events_run"]) != (cal["now"], cal["events_run"]):
+            raise RuntimeError(
+                f"engine divergence at depth {n}: heap ran "
+                f"{heap['events_run']} events to t={heap['now']}, calendar "
+                f"{cal['events_run']} to t={cal['now']}")
+        row = {"events": n, "events_run": cal["events_run"]}
+        for phase in ("schedule", "cancel", "pop"):
+            h, c = heap[f"{phase}_s"], cal[f"{phase}_s"]
+            row[f"heap_{phase}_s"] = round(h, 6)
+            row[f"calendar_{phase}_s"] = round(c, 6)
+            row[f"{phase}_speedup"] = round(h / c, 3) if c else 0.0
+        rows.append(row)
+    deepest = rows[-1]
+    return {
+        "tck_ps": tck,
+        "cancel_every": _CANCEL_EVERY,
+        "depths": rows,
+        # Headline: pop throughput at the deepest depth, where queue
+        # discipline dominates and the heap's O(log n) bites hardest.
+        "pop_speedup": deepest["pop_speedup"],
+        "pop_events_per_s": round(
+            deepest["events_run"] / deepest["calendar_pop_s"], 1)
+        if deepest["calendar_pop_s"] else 0.0,
+    }
+
+
+def run_engine_e2e(quick: bool = True) -> dict:
+    """Quick grid under each engine, in-process, results checked equal."""
+    # Imported here: harness imports this module, and the experiment
+    # machinery is heavyweight enough to keep out of micro-only runs.
+    from repro.bench.harness import run_end_to_end
+
+    # Single-process by construction: the DEFAULT_ENGINE override lives
+    # in this interpreter, and worker processes would re-import the
+    # module and silently run the default engine on both sides.
+    jobs = 1
+
+    def comparable(results: dict) -> dict:
+        out = dict(results)
+        # wall-clock and throughput legitimately differ between engines
+        for k in ("wall_s", "dram_accesses_per_s"):
+            out.pop(k, None)
+        return out
+
+    saved = engine_mod.DEFAULT_ENGINE
+    try:
+        engine_mod.DEFAULT_ENGINE = "heap"
+        heap = run_end_to_end(quick=quick, jobs=jobs)
+        engine_mod.DEFAULT_ENGINE = "calendar"
+        cal = run_end_to_end(quick=quick, jobs=jobs)
+    finally:
+        engine_mod.DEFAULT_ENGINE = saved
+    identical = comparable(heap) == comparable(cal)
+    if not identical:
+        raise RuntimeError(
+            "calendar-engine grid results diverged from the heap engine — "
+            "the engine speedup is meaningless; fix the bit-identity "
+            "regression (tests/test_engine_calendar.py) before benchmarking")
+    return {
+        "points": heap["points"],
+        "jobs": jobs,
+        "params": heap["params"],
+        "heap_wall_s": heap["wall_s"],
+        "calendar_wall_s": cal["wall_s"],
+        "speedup": round(heap["wall_s"] / cal["wall_s"], 3)
+        if cal["wall_s"] else 0.0,
+        "reads_done_total": cal["reads_done_total"],
+        "dram_accesses_total": cal["dram_accesses_total"],
+        "identical_results": identical,
+    }
+
+
+def run_engine_section(quick: bool = False, seed: int = 0) -> dict:
+    """The full ``engine`` BENCH section: micro table + e2e comparison."""
+    return {
+        "micro": run_engine_micro(quick=quick, seed=seed),
+        # e2e always uses the quick grid: the point is the engine ratio
+        # under identical work, not grid breadth (the e2e section owns
+        # absolute walls).
+        "e2e": run_engine_e2e(quick=True),
+    }

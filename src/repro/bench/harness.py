@@ -29,17 +29,21 @@ from repro.experiments.common import (
     SimParams,
     atomic_write_json,
     run_grid,
+    write_profiled,
 )
 from repro.bench.decision_loop import run_decision_loop
+from repro.bench.engine_loop import run_engine_section
 from repro.bench.substrate_loop import run_substrate_loop
 
 #: Version of the BENCH_*.json payload; bump on any field/semantics change.
 #: v2: added the ``substrate`` section (burst vs command issue-loop
 #: throughput) and the ``sections`` field recording what ran.
-BENCH_SCHEMA_VERSION = 2
+#: v3: added the ``engine`` section (heap vs calendar event-engine micro
+#: ops + equality-checked in-process end-to-end comparison).
+BENCH_SCHEMA_VERSION = 3
 
 #: selectable benchmark sections (``repro-perf [section]``)
-SECTIONS = ("decision", "substrate", "e2e")
+SECTIONS = ("decision", "substrate", "engine", "e2e")
 
 
 def run_end_to_end(quick: bool = False, jobs: int = 1) -> dict:
@@ -126,11 +130,16 @@ def run_warm_reuse(quick: bool = False, jobs: int = 1) -> dict:
 def run_perf(quick: bool = False, label: str = "dev",
              out_dir: Path = Path("."), end_to_end: bool = True,
              jobs: int = 1, seed: int = 0,
-             sections: Optional[Sequence[str]] = None) -> Path:
+             sections: Optional[Sequence[str]] = None,
+             profile_out: Optional[Path] = None) -> Path:
     """Run the harness and write ``BENCH_<label>.json``; returns path.
 
     ``sections`` selects which benchmark families run (default: all of
     :data:`SECTIONS`; ``end_to_end=False`` additionally drops ``e2e``).
+    ``profile_out`` wraps the measured region in cProfile and writes
+    pstats data there (atomically; analyse with ``python -m pstats`` or
+    snakeviz).  Profiled walls are inflated by tracing overhead — use
+    them for *where*, never for BENCH headline ratios.
     """
     if sections is None:
         sections = SECTIONS
@@ -151,13 +160,23 @@ def run_perf(quick: bool = False, label: str = "dev",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
     }
-    if "decision" in sections:
-        payload["decision_loop"] = run_decision_loop(quick=quick, seed=seed)
-    if "substrate" in sections:
-        payload["substrate"] = run_substrate_loop(quick=quick, seed=seed)
-    if "e2e" in sections:
-        payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
-        payload["warm_reuse"] = run_warm_reuse(quick=quick, jobs=jobs)
+    def measured() -> None:
+        if "decision" in sections:
+            payload["decision_loop"] = run_decision_loop(quick=quick,
+                                                         seed=seed)
+        if "substrate" in sections:
+            payload["substrate"] = run_substrate_loop(quick=quick, seed=seed)
+        if "engine" in sections:
+            payload["engine"] = run_engine_section(quick=quick, seed=seed)
+        if "e2e" in sections:
+            payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
+            payload["warm_reuse"] = run_warm_reuse(quick=quick, jobs=jobs)
+
+    if profile_out is not None:
+        write_profiled(measured, Path(profile_out))
+        payload["profile"] = str(profile_out)
+    else:
+        measured()
     return atomic_write_json(Path(out_dir) / f"BENCH_{label}.json", payload)
 
 
@@ -181,6 +200,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the end-to-end grid")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", metavar="OUT.prof", default=None,
+                   help="run the measured sections under cProfile and "
+                        "write pstats data to OUT.prof (walls inflate; "
+                        "use for hotspot hunting, not headline ratios)")
     args = p.parse_args(argv)
     sections = tuple(args.section) if args.section else None
     if sections and set(sections) - set(SECTIONS):
@@ -188,7 +211,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"known: {', '.join(SECTIONS)}")
     path = run_perf(quick=args.quick, label=args.label,
                     out_dir=Path(args.out_dir), end_to_end=not args.no_e2e,
-                    jobs=args.jobs, seed=args.seed, sections=sections)
+                    jobs=args.jobs, seed=args.seed, sections=sections,
+                    profile_out=Path(args.profile) if args.profile else None)
     import json
     data = json.loads(path.read_text())
     print(f"wrote {path}")
@@ -204,6 +228,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {s['name']:<24} burst {s['burst_per_s']:>10.0f}/s   "
                   f"command {s['command_per_s']:>10.0f}/s   "
                   f"overhead x{s['command_overhead_x']:.2f}")
+    if "engine" in data:
+        eng = data["engine"]
+        for row in eng["micro"]["depths"]:
+            print(f"  engine micro n={row['events']:<7} "
+                  f"sched x{row['schedule_speedup']:.2f}  "
+                  f"cancel x{row['cancel_speedup']:.2f}  "
+                  f"pop x{row['pop_speedup']:.2f}")
+        ee = eng["e2e"]
+        print(f"  engine e2e: heap {ee['heap_wall_s']:.1f}s -> calendar "
+              f"{ee['calendar_wall_s']:.1f}s  x{ee['speedup']:.2f}  "
+              f"(identical={ee['identical_results']})")
     if "end_to_end" in data:
         e = data["end_to_end"]
         print(f"  end-to-end: {e['points']} points in {e['wall_s']:.1f}s "

@@ -41,6 +41,26 @@ class FillResult:
     victim_dirty: bool = False
 
 
+# Shared immutable miss result: probe() runs once per functional access
+# and most probes miss cold structures, so skipping the dataclass
+# construction there is a measurable win.
+_MISS = LookupResult(False)
+
+
+def _last_of_group_mask(sorted_keys: "np.ndarray", limit: int) -> "np.ndarray":
+    """Mask keeping only the last ``limit`` elements of each run of equal
+    keys in an already key-sorted array."""
+    n = len(sorted_keys)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=group_start[1:])
+    gidx = np.cumsum(group_start) - 1
+    ends = np.cumsum(np.bincount(gidx))
+    return (ends[gidx] - np.arange(n)) <= limit
+
+
 class _SASet:
     """One set of the set-associative organization."""
 
@@ -248,6 +268,12 @@ class DRAMCacheArray:
         self.organization = organization
         self.sa = SetAssociativeGeometry(geometry)
         self.dm = DirectMappedGeometry(geometry)
+        # Geometry scalars flattened onto the instance: probe/_touch run
+        # once per functional access and the attribute-chain lookups were
+        # a measurable share of the end-to-end profile.
+        self._block_bytes = geometry.block_bytes
+        self._num_sets = self.sa.num_sets
+        self._num_entries = self.dm.num_entries
         # Lazy state.
         self._sa_sets: dict[int, _SASet] = {}
         self._dm_entries: dict[int, tuple[int, bool]] = {}  # idx -> (tag, dirty)
@@ -271,26 +297,30 @@ class DRAMCacheArray:
 
     def probe(self, addr: int) -> LookupResult:
         """Hit/miss/dirty query with no state change."""
-        b = self._block(addr)
-        if self.is_direct_mapped:
-            idx = self.dm.entry_index(b)
-            ent = self._dm_entries.get(idx)
-            if ent is not None and ent[0] == self.dm.tag_value(b):
+        b = addr // self._block_bytes
+        if self.organization == "dm":
+            n = self._num_entries
+            ent = self._dm_entries.get(b % n)
+            if ent is not None and ent[0] == b // n:
                 return LookupResult(True, 0, ent[1])
-            return LookupResult(False)
+            return _MISS
         sets = self._sa_sets
+        n = self._num_sets
+        si = b % n
         # A pure read must stay pure on a restored (copy-on-write) array
         # too: peek never materialises, so probes don't converge a
         # mostly-read fork toward a full copy.
-        s = (sets.peek(self.sa.set_index(b)) if type(sets) is _CowSets
-             else sets.get(self.sa.set_index(b)))
+        s = (sets.peek(si) if type(sets) is _CowSets else sets.get(si))
         if s is None:
-            return LookupResult(False)
-        tag = self.sa.tag_value(b)
-        for w, t in enumerate(s.tags):
-            if t == tag:
-                return LookupResult(True, w, s.dirty[w])
-        return LookupResult(False)
+            return _MISS
+        tag = b // n
+        tags = s.tags
+        # list.__contains__ / index scan the 15 ways at C speed; the
+        # double scan on a hit still beats an interpreted enumerate loop.
+        if tag in tags:
+            w = tags.index(tag)
+            return LookupResult(True, w, s.dirty[w])
+        return _MISS
 
     # -- timed-path operations (called at access completion times) -------------
 
@@ -349,21 +379,21 @@ class DRAMCacheArray:
             s = _SASet(self.sa.ways)
             self._sa_sets[set_idx] = s
         tag = self.sa.tag_value(b)
+        tags = s.tags
         # Refill of a block already present (e.g. race with a concurrent
         # writeback-allocate) just refreshes it.
-        for w, t in enumerate(s.tags):
-            if t == tag:
-                s.dirty[w] = s.dirty[w] or dirty
-                self._touch(addr, w)
-                return FillResult(w)
-        # Prefer an invalid way; otherwise evict LRU.
-        victim_way = -1
-        for w, t in enumerate(s.tags):
-            if t == -1:
-                victim_way = w
-                break
-        if victim_way < 0:
-            victim_way = min(range(self.sa.ways), key=lambda w: s.stamp[w])
+        if tag in tags:
+            w = tags.index(tag)
+            s.dirty[w] = s.dirty[w] or dirty
+            self._touch(addr, w)
+            return FillResult(w)
+        # Prefer an invalid way; otherwise evict LRU (stamps are unique,
+        # so index-of-min is the unambiguous oldest way).
+        if -1 in tags:
+            victim_way = tags.index(-1)
+        else:
+            stamps = s.stamp
+            victim_way = stamps.index(min(stamps))
         old_tag = s.tags[victim_way]
         old_dirty = s.dirty[victim_way]
         s.tags[victim_way] = tag
@@ -422,9 +452,8 @@ class DRAMCacheArray:
         if self.is_direct_mapped:
             idxs = blocks % self.dm.num_entries
             tags = blocks // self.dm.num_entries
-            entries = self._dm_entries
-            for i, t, d in zip(idxs.tolist(), tags.tolist(), dirty.tolist()):
-                entries[i] = (t, d)
+            self._dm_entries.update(
+                zip(idxs.tolist(), zip(tags.tolist(), dirty.tolist())))
             return
 
         sets = blocks % self.sa.num_sets
@@ -438,29 +467,168 @@ class DRAMCacheArray:
         ends = [*boundaries.tolist(), len(sets_sorted)]
         set_ids = sets_sorted[np.concatenate(([0], boundaries))].tolist()
         ways = self.sa.ways
+        sa_sets = self._sa_sets
+        sa_get = sa_sets.get
+        new_set = _SASet.__new__
+        clock = self._clock
+        dirty_evictions = self.dirty_evictions
+        empty_tags = [-1] * ways
+        empty_dirty = [False] * ways
+        empty_stamp = [0] * ways
         for sid, lo, hi in zip(set_ids, starts, ends):
-            s = self._sa_sets.get(sid)
+            # LRU semantics over (existing contents + this range): only
+            # the last `ways` inserts of the group can survive, so the
+            # earlier ones are skipped outright (no clock tick, no
+            # eviction), exactly as if each block had been filled once.
+            lo = hi - ways if hi - lo > ways else lo
+            cnt = hi - lo
+            s = sa_get(sid)
             if s is None:
-                s = _SASet(ways)
-                self._sa_sets[sid] = s
-            # LRU semantics over (existing contents + this range): keep
-            # the `ways` most recently inserted entries.
-            merged = [(s.stamp[w], s.tags[w], s.dirty[w])
-                      for w in range(ways) if s.tags[w] != -1]
-            for k in range(max(lo, hi - ways), hi):
-                self._clock += 1
-                merged.append((self._clock, tags_sorted[k], dirty_sorted[k]))
-            if len(merged) > ways:
+                # Fresh set: the group is the whole contents.
+                s = new_set(_SASet)
+                s.stamp = list(range(clock + 1, clock + 1 + cnt)) \
+                    + empty_stamp[cnt:]
+                s.tags = tags_sorted[lo:hi] + empty_tags[cnt:]
+                s.dirty = dirty_sorted[lo:hi] + empty_dirty[cnt:]
+                clock += cnt
+                sa_sets[sid] = s
+                continue
+            stags = s.tags
+            merged = list(zip(s.stamp, stags, s.dirty)) \
+                if -1 not in stags else \
+                [t for t in zip(s.stamp, stags, s.dirty) if t[1] != -1]
+            for k in range(lo, hi):
+                clock += 1
+                merged.append((clock, tags_sorted[k], dirty_sorted[k]))
+            m = len(merged)
+            if m > ways:
+                # Insertion stamps are unique and monotonic, so a plain
+                # tuple sort is a stamp sort; the dropped prefix is the
+                # LRU overflow.
                 merged.sort()
-                for _stamp, _tag, was_dirty in merged[:-ways]:
+                for _stamp, _tag, was_dirty in merged[:m - ways]:
                     if was_dirty:
-                        self.dirty_evictions += 1
-                merged = merged[-ways:]
-            for w in range(ways):
-                if w < len(merged):
-                    s.stamp[w], s.tags[w], s.dirty[w] = merged[w]
-                else:
-                    s.tags[w], s.dirty[w], s.stamp[w] = -1, False, 0
+                        dirty_evictions += 1
+                del merged[:m - ways]
+                m = ways
+            s.stamp[:m], s.tags[:m], s.dirty[:m] = zip(*merged)
+            if m < ways:
+                s.tags[m:] = empty_tags[m:]
+                s.dirty[m:] = empty_dirty[m:]
+                s.stamp[m:] = empty_stamp[m:]
+        self._clock = clock
+        self.dirty_evictions = dirty_evictions
+
+    def bulk_fill_many(self, fills: list) -> None:
+        """Apply several :meth:`bulk_fill` ranges in one fused pass.
+
+        ``fills`` is a list of ``(start_addr, n_blocks, dirty_fraction,
+        seed)`` tuples, applied with semantics identical to calling
+        :meth:`bulk_fill` once per tuple in order — same final contents,
+        same insertion-clock values, same ``dirty_evictions`` count.
+
+        On an untouched set-associative array (the warm-up case) the
+        whole batch is grouped by set once and each set is constructed in
+        a single shot, so a set shared by every range is visited once
+        instead of ``len(fills)`` times.  The fusion is exact because the
+        sequential calls interact only through LRU state: per call, only
+        the last ``ways`` inserts of a set's group can survive (earlier
+        ones are skipped without ticking the clock or counting an
+        eviction), and across calls the survivors are the globally
+        newest ``ways`` stamps, with every insert that was stamped but
+        later displaced counting its dirty bit exactly once.
+        """
+        # The fused path assumes a pristine array; a _CowSets overlay can
+        # be empty while its frozen backing is not, so require the exact
+        # plain-dict type as well as emptiness.
+        if (self.is_direct_mapped or type(self._sa_sets) is not dict
+                or self._sa_sets):
+            for start_addr, n_blocks, dirty_fraction, seed in fills:
+                self.bulk_fill(start_addr, n_blocks,
+                               dirty_fraction=dirty_fraction, seed=seed)
+            return
+
+        num_sets = self.sa.num_sets
+        ways = self.sa.ways
+        clock0 = self._clock
+        assigned = 0                      # clipped inserts stamped so far
+        sid_parts, tag_parts, dirty_parts, stamp_parts = [], [], [], []
+        for start_addr, n_blocks, dirty_fraction, seed in fills:
+            if n_blocks <= 0:
+                continue
+            start_block = start_addr // self.geometry.block_bytes
+            blocks = np.arange(start_block, start_block + n_blocks,
+                               dtype=np.int64)
+            h = ((blocks + seed) * np.int64(2654435761)) \
+                & np.int64(0xFFFFFFFF)
+            dirty = (h >> 16).astype(np.float64) / 65536.0 < dirty_fraction
+            sets = blocks % num_sets
+            tags = blocks // num_sets
+            order = np.argsort(sets, kind="stable")
+            ss = sets[order]
+            # Per-call clipping: within one range only the last `ways`
+            # blocks of each set's group are ever inserted.
+            keep = _last_of_group_mask(ss, ways)
+            ss = ss[keep]
+            k = len(ss)
+            # Stamps in (set, position) order match the sequential
+            # insertion clock: bulk_fill walks groups in ascending set
+            # order and stamps only the clipped survivors.
+            stamps = np.arange(clock0 + assigned + 1,
+                               clock0 + assigned + 1 + k, dtype=np.int64)
+            assigned += k
+            sid_parts.append(ss)
+            tag_parts.append(tags[order][keep])
+            dirty_parts.append(dirty[order][keep])
+            stamp_parts.append(stamps)
+        self._clock = clock0 + assigned
+        if not sid_parts:
+            return
+
+        sid = np.concatenate(sid_parts)
+        tag = np.concatenate(tag_parts)
+        drt = np.concatenate(dirty_parts)
+        stp = np.concatenate(stamp_parts)
+        # Stable sort by set: ties keep concatenation order, which is
+        # (range order, position order) — i.e. ascending stamp.
+        order = np.argsort(sid, kind="stable")
+        sid, tag, drt, stp = sid[order], tag[order], drt[order], stp[order]
+        # Global LRU: the survivors of each set are its newest `ways`
+        # stamps; everything older was inserted then displaced, and its
+        # dirty bit counts as an eviction exactly once.
+        keep = _last_of_group_mask(sid, ways)
+        self.dirty_evictions += int(drt[~keep].sum())
+        sid, tag, drt, stp = sid[keep], tag[keep], drt[keep], stp[keep]
+
+        n = len(sid)
+        group_start = np.empty(n, dtype=bool)
+        group_start[0] = True
+        np.not_equal(sid[1:], sid[:-1], out=group_start[1:])
+        starts = np.flatnonzero(group_start)
+        gidx = np.cumsum(group_start) - 1
+        col = np.arange(n) - starts[gidx]
+        rows = len(starts)
+        # Dense (set, way) scatter, then one tolist() per field: the
+        # stamp-ascending layout matches what repeated bulk_fill leaves
+        # (appends in stamp order; overflow re-sorts by stamp).
+        tags_mat = np.full((rows, ways), -1, dtype=np.int64)
+        dirty_mat = np.zeros((rows, ways), dtype=bool)
+        stamp_mat = np.zeros((rows, ways), dtype=np.int64)
+        tags_mat[gidx, col] = tag
+        dirty_mat[gidx, col] = drt
+        stamp_mat[gidx, col] = stp
+        set_ids = sid[starts].tolist()
+        tag_rows = tags_mat.tolist()
+        dirty_rows = dirty_mat.tolist()
+        stamp_rows = stamp_mat.tolist()
+        new_set = _SASet.__new__
+        sa_sets = self._sa_sets
+        for j, sid_j in enumerate(set_ids):
+            s = new_set(_SASet)
+            s.tags = tag_rows[j]
+            s.dirty = dirty_rows[j]
+            s.stamp = stamp_rows[j]
+            sa_sets[sid_j] = s
 
     # -- snapshot hooks (see repro/snapshot.py and DESIGN.md) -------------------
 
@@ -524,10 +692,9 @@ class DRAMCacheArray:
             self._sa_sets = _CowSets(state["sa"])
 
     def _touch(self, addr: int, way: int) -> None:
-        if self.is_direct_mapped:
+        if self.organization == "dm":
             return
-        b = self._block(addr)
-        s = self._sa_sets[self.sa.set_index(b)]
+        s = self._sa_sets[(addr // self._block_bytes) % self._num_sets]
         self._clock += 1
         s.stamp[way] = self._clock
 

@@ -23,6 +23,7 @@ decodes to (channel, rank, bank, row, column).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.config import DRAMCacheGeometry
 
@@ -33,15 +34,19 @@ class SetAssociativeGeometry:
 
     cache: DRAMCacheGeometry
 
-    @property
+    # cached_property: set_index/tag_value run once per functional cache
+    # access, and recomputing the geometry arithmetic there dominated
+    # the probe profile.  Caching into __dict__ is compatible with the
+    # frozen dataclass (no __setattr__ involved).
+    @cached_property
     def ways(self) -> int:
         return self.cache.sa_ways
 
-    @property
+    @cached_property
     def num_sets(self) -> int:
         return self.cache.sa_sets
 
-    @property
+    @cached_property
     def sets_per_row(self) -> int:
         """4 KB row / (16 blocks per set unit) = 4 set units per row."""
         blocks_per_row = self.cache.row_bytes // self.cache.block_bytes
@@ -81,11 +86,11 @@ class DirectMappedGeometry:
 
     cache: DRAMCacheGeometry
 
-    @property
+    @cached_property
     def num_entries(self) -> int:
         return self.cache.dm_entries
 
-    @property
+    @cached_property
     def entries_per_row(self) -> int:
         """15/16 of the row's blocks hold TADs (tag bits ride along)."""
         blocks_per_row = self.cache.row_bytes // self.cache.block_bytes

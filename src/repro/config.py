@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 PS_PER_NS = 1000
 
@@ -106,6 +107,15 @@ class DRAMTimings:
             tWR=ns(15), tBURST=ns(5),
             tRRD=ns(6), tFAW=ns(30), tREFI=ns(7800), tRFC=ns(160),
         )
+
+    @property
+    def tCK(self) -> int:
+        """Command-clock period implied by the burst duration (BL8: a
+        64 B burst is 4 clocks of double-data-rate transfers), floored
+        at 1 ps.  Used to size the event engine's calendar buckets —
+        every timing constraint is a small multiple of this.
+        """
+        return max(1, self.tBURST // 4)
 
     def row_miss_penalty(self) -> int:
         """Cost of ACT+CAS on a closed row (excludes burst)."""
@@ -269,12 +279,16 @@ class DRAMCacheGeometry:
     sa_ways: int = 15          # set-associative organization (Loh-Hill style)
     row_bytes: int = 4096
 
-    @property
+    # cached_property (not property): these sit on the per-access hot
+    # path of the functional array, and a frozen dataclass still allows
+    # the cache write because cached_property stores straight into
+    # ``__dict__`` without going through the blocked ``__setattr__``.
+    @cached_property
     def data_capacity(self) -> int:
         """Usable data bytes: 15/16 of raw capacity (1 tag block per 15 data)."""
         return self.size_bytes * 15 // 16
 
-    @property
+    @cached_property
     def sa_sets(self) -> int:
         """Number of sets in the set-associative organization.
 
@@ -282,7 +296,7 @@ class DRAMCacheGeometry:
         """
         return self.data_capacity // (self.block_bytes * self.sa_ways)
 
-    @property
+    @cached_property
     def dm_entries(self) -> int:
         """Number of block entries in the direct-mapped organization.
 

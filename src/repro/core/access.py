@@ -93,7 +93,7 @@ class Access:
 
     __slots__ = ("role", "request", "channel", "rank", "bank", "row", "col",
                  "global_bank", "arrival", "seq", "priority", "on_complete",
-                 "critical", "core_id")
+                 "critical", "core_id", "is_write")
 
     _seq = 0
 
@@ -131,13 +131,13 @@ class Access:
         if role in _READ_ROLES:
             self.priority = (Priority.PR if request.rtype == RequestType.READ
                              else Priority.LR)
+            # Flattened like core_id: does this access drive the bus in
+            # write mode?  Read per scheduling decision and per issue, so
+            # a slot beats recomputing the role test as a property.
+            self.is_write = False
         else:
             self.priority = Priority.WRITE
-
-    @property
-    def is_write(self) -> bool:
-        """Does this access drive the bus in write mode?"""
-        return self.role in (AccessRole.TAG_WRITE, AccessRole.DATA_WRITE)
+            self.is_write = True
 
     @property
     def is_bus_read(self) -> bool:

@@ -222,9 +222,21 @@ class BaseController:
         self._decision_pending[ch] = False
         window = self.cfg.queues.issue_window
         now = self.sim.now
-        channel = self.device.channels[ch]
-        while self._in_flight[ch] < window:
-            picked = self._select(ch)
+        # Hot loop: every bound method / container indexed below is
+        # loop-invariant per channel, so resolve each exactly once.
+        issue = self.device.channels[ch].issue
+        in_flight = self._in_flight
+        rq = self.read_q[ch]
+        stats = self.stats
+        select = self._select
+        on_served = self.sched[ch].on_served
+        on_issued = self._on_issued
+        sim_at = self.sim.at
+        complete = self._access_complete
+        admit = self._admit
+        lr = Priority.LR
+        while in_flight[ch] < window:
+            picked = select(ch)
             if picked is None:
                 return
             access, queue = picked
@@ -232,17 +244,16 @@ class BaseController:
 
             # Observable read-priority-inversion accounting: an LR-class
             # bus read issued while a PR-class read waits on this channel.
-            if (access.priority == Priority.LR
-                    and self.read_q[ch].pr_count):
-                self.stats.read_priority_inversions += 1
+            if access.priority == lr and rq.pr_count:
+                stats.read_priority_inversions += 1
 
-            _start, end = channel.issue(access.rank, access.bank, access.row,
-                                        access.is_write, now)
-            self._in_flight[ch] += 1
-            self.sched[ch].on_served(access.core_id)
-            self._on_issued(access)
-            self.sim.at(end, self._access_complete, access)
-            self._admit(ch)
+            _start, end = issue(access.rank, access.bank, access.row,
+                                access.is_write, now)
+            in_flight[ch] += 1
+            on_served(access.core_id)
+            on_issued(access)
+            sim_at(end, complete, access)
+            admit(ch)
 
     # -- write-flush state machine -------------------------------------------------
 

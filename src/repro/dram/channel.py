@@ -42,7 +42,8 @@ class Channel:
     """One channel: ``ranks_per_channel * banks_per_rank`` banks + data bus."""
 
     __slots__ = ("timings", "org", "banks", "bus_free", "bus_dir", "stats",
-                 "_last_read_end", "_last_write_end")
+                 "_last_read_end", "_last_write_end", "_gen", "_est_memo",
+                 "_est_gen")
 
     #: substrate fidelity this model implements (see SubstrateConfig)
     fidelity = "burst"
@@ -57,6 +58,14 @@ class Channel:
         self.bus_dir: int = _DIR_NONE
         self._last_read_end: int = 0
         self._last_write_end: int = 0
+        # Timing-state generation: bumped by every committed access and
+        # every state restore, i.e. whenever a previously computed
+        # estimate could go stale.  estimate_burst_start memoizes on it,
+        # so repeated probes of the same candidate between two commits
+        # (schedulers re-rank whole queues per decision) compute once.
+        self._gen: int = 0
+        self._est_memo: dict = {}
+        self._est_gen: int = -1
         # The counter group may be supplied by the owning device so the
         # same live object sits in its metrics registry.
         self.stats = stats if stats is not None else ChannelStats()
@@ -72,7 +81,28 @@ class Channel:
 
     def estimate_burst_start(self, rank: int, bank: int, row: int,
                              is_write: bool, now: int) -> int:
-        """Earliest burst start for the access (pure query, for schedulers)."""
+        """Earliest burst start for the access (pure query, for schedulers).
+
+        Memoized per timing-state generation: between two commits the
+        channel state is frozen, so equal probes return the cached time;
+        any :meth:`issue` or :meth:`restore_state` invalidates the cache
+        wholesale.  ``now`` is part of the key, so probes at different
+        decision times never alias.
+        """
+        memo = self._est_memo
+        if self._est_gen != self._gen:
+            memo.clear()
+            self._est_gen = self._gen
+        key = (rank, bank, row, is_write, now)
+        start = memo.get(key)
+        if start is None:
+            memo[key] = start = self._estimate_uncached(rank, bank, row,
+                                                        is_write, now)
+        return start
+
+    def _estimate_uncached(self, rank: int, bank: int, row: int,
+                           is_write: bool, now: int) -> int:
+        """Fidelity-specific estimate (overridden by the command model)."""
         b = self.banks[self.bank_index(rank, bank)]
         cas = b.earliest_cas(row, now)
         return self._bus_constrained_start(cas + self.timings.tCAS, is_write)
@@ -129,6 +159,7 @@ class Channel:
         verbatim and only differ in how the burst start was derived.
         """
         t = self.timings
+        self._gen += 1
         new_dir = _DIR_WRITE if is_write else _DIR_READ
         if self.bus_dir != _DIR_NONE and self.bus_dir != new_dir:
             self.stats.turnarounds += 1
@@ -191,3 +222,4 @@ class Channel:
          self._last_read_end, self._last_write_end) = state["bus"]
         for b, vals in zip(self.banks, state["banks"]):
             b.restore(vals)
+        self._gen += 1

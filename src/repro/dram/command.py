@@ -225,15 +225,17 @@ class CommandChannel(Channel):
 
     # ------------------------------------------------------------- protocol
 
-    def estimate_burst_start(self, rank: int, bank: int, row: int,
-                             is_write: bool, now: int) -> int:
+    def _estimate_uncached(self, rank: int, bank: int, row: int,
+                           is_write: bool, now: int) -> int:
         """Earliest burst start under full command-level constraints.
 
         Pure, like the burst model's: the lazy refresh/page sync runs on
         rank state that is rolled back before returning, and counters
         are left untouched — so probing never changes a committed time
         or a statistic (pinned by tests/test_substrate.py), while still
-        matching :meth:`issue`'s placement exactly.
+        matching :meth:`issue`'s placement exactly.  The memoizing
+        ``estimate_burst_start`` wrapper lives on the base channel; the
+        capture/sync/rollback here is exactly the work worth caching.
         """
         idx = self.bank_index(rank, bank)
         saved = self._capture_rank(rank)

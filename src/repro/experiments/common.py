@@ -345,6 +345,27 @@ def atomic_write_json(path: Path, payload) -> Path:
     return path
 
 
+def write_profiled(fn, path: Path):
+    """Run ``fn()`` under cProfile and write pstats data to ``path``.
+
+    The dump goes through tmp-file + rename like every other artefact,
+    so an interrupted run never leaves a torn .prof behind.  Only the
+    call itself is traced — argument setup and the write are outside the
+    profile.  Returns ``fn``'s result.  Used by the ``--profile`` flag
+    of both CLI entry points (``dca-repro`` and ``repro-perf``).
+    """
+    import cProfile
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    prof.dump_stats(tmp)
+    tmp.replace(path)
+    return result
+
+
 class ResultStore:
     """Versioned on-disk store of :class:`SystemResult` JSON entries.
 

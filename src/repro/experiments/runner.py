@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "groups, not points)")
     p.add_argument("--out", default="results",
                    help="output directory (default ./results)")
+    p.add_argument("--profile", metavar="OUT.prof", default=None,
+                   help="run the experiments under cProfile and write "
+                        "pstats data to OUT.prof (forces --jobs 1 so the "
+                        "simulation work is traced in-process; walls "
+                        "inflate under tracing)")
     return p
 
 
@@ -124,17 +129,30 @@ def main(argv: list[str] | None = None) -> int:
     mixes = common.validated_mix_ids(args.mixes, error=parser.error)
     out_dir = Path(args.out)
 
-    all_ok = True
+    jobs = args.jobs
+    if args.profile:
+        # Worker processes would escape the profiler; trace in-process.
+        jobs = 1
+
+    def run_all() -> bool:
+        ok_all = True
+        for exp_id in ids:
+            ok = run_experiment(exp_id, params, mixes, jobs, out_dir,
+                                use_cache=not args.no_cache)
+            ok_all = ok_all and ok
+        return ok_all
+
     # The figure modules call run_grid themselves; the process-wide
     # default is how the flag reaches them (see common.run_grid).  It is
     # restored afterwards so a programmatic caller invoking main() does
     # not silently change later run_grid calls in the same process.
     common.set_default_warm_cache(args.warm_cache)
     try:
-        for exp_id in ids:
-            ok = run_experiment(exp_id, params, mixes, args.jobs, out_dir,
-                                use_cache=not args.no_cache)
-            all_ok = all_ok and ok
+        if args.profile:
+            all_ok = common.write_profiled(run_all, Path(args.profile))
+            print(f"profile written to {args.profile}")
+        else:
+            all_ok = run_all()
     finally:
         common.set_default_warm_cache(False)
     return 0 if all_ok else 1

@@ -14,10 +14,14 @@ blocks bound for the same row (see :mod:`repro.mem.llc_writeback`).
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Optional
 
 from repro.config import CacheGeometry
 from repro.metrics.registry import MetricGroup, derived
+
+# C-speed LRU key for eviction scans (entries are [tag, dirty, stamp]).
+_STAMP = itemgetter(2)
 
 
 class SRAMCacheStats(MetricGroup):
@@ -36,6 +40,7 @@ class SRAMCache:
         self.geom = geom
         self.num_sets = geom.num_sets
         self.block = geom.block_bytes
+        self._assoc = geom.assoc
         # set idx -> list of [tag, dirty, stamp]
         self._sets: dict[int, list[list]] = {}
         self._clock = 0
@@ -92,9 +97,10 @@ class SRAMCache:
         :meth:`fill` when the data arrives.
         """
         self.stats.accesses += 1
-        s = self._sets.get(self._set_of(addr))
+        blk = addr // self.block
+        s = self._sets.get(blk % self.num_sets)
         if s is not None:
-            tag = self._tag_of(addr)
+            tag = blk // self.num_sets
             for e in s:
                 if e[0] == tag:
                     self.stats.hits += 1
@@ -114,9 +120,12 @@ class SRAMCache:
         turns it into a writeback request), or None.
         """
         self.stats.accesses += 1
-        set_idx = self._set_of(addr)
-        tag = self._tag_of(addr)
-        s = self._sets.setdefault(set_idx, [])
+        blk = addr // self.block
+        set_idx = blk % self.num_sets
+        tag = blk // self.num_sets
+        s = self._sets.get(set_idx)
+        if s is None:
+            s = self._sets[set_idx] = []
         self._clock += 1
         for e in s:
             if e[0] == tag:
@@ -128,8 +137,8 @@ class SRAMCache:
                 return True, None
         # Miss: allocate (write-allocate for stores too).
         victim_addr = None
-        if len(s) >= self.geom.assoc:
-            victim = min(s, key=lambda e: e[2])
+        if len(s) >= self._assoc:
+            victim = min(s, key=_STAMP)
             s.remove(victim)
             self.stats.evictions += 1
             vaddr = self._addr_of(set_idx, victim[0])

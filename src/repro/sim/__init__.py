@@ -5,9 +5,17 @@ controller package, which imports the memory package, which imports the
 engine — loading it eagerly here would close an import cycle.
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, HeapSimulator, Simulator, make_simulator
 
-__all__ = ["Event", "Simulator", "Core", "System", "SystemResult"]
+__all__ = [
+    "Event",
+    "HeapSimulator",
+    "Simulator",
+    "make_simulator",
+    "Core",
+    "System",
+    "SystemResult",
+]
 
 
 def __getattr__(name):

@@ -48,7 +48,8 @@ class Core:
                  "_token", "blocked", "_resume_base",
                  "budget", "warmup_at", "finish_time", "warmup_time",
                  "warmup_icount", "loads_issued", "stores_issued",
-                 "stall_blocked_ps", "_blocked_since")
+                 "stall_blocked_ps", "_blocked_since",
+                 "_width", "_cycle_ps", "_max_misses", "_rob")
 
     def __init__(self, sim: Simulator, core_id: int, cfg: CPUConfig,
                  trace: Iterator, system: "System"):
@@ -57,6 +58,11 @@ class Core:
         self.cfg = cfg
         self.system = system
         self.trace = trace
+        # Config scalars flattened: _step/_gap_ps run once per memory op.
+        self._width = cfg.width
+        self._cycle_ps = cfg.cycle_ps
+        self._max_misses = cfg.max_outstanding_misses
+        self._rob = cfg.rob_entries
         self.icount = 0
         self._next_op: Optional[tuple] = None
         self._retry_op: Optional[tuple] = None
@@ -90,13 +96,14 @@ class Core:
 
         Billing the op itself keeps IPC bounded by the core width.
         """
-        cycles = (gap_instructions + 1) / self.cfg.width
-        return max(1, round(cycles * self.cfg.cycle_ps))
+        cycles = (gap_instructions + 1) / self._width
+        return max(1, round(cycles * self._cycle_ps))
 
     def _schedule_next(self, base_time: int) -> None:
-        gap = self._next_op[0]
-        self.sim.at(max(base_time + self._gap_ps(gap), self.sim.now),
-                    self._step, None)
+        sim = self.sim
+        gap_ps = max(1, round((self._next_op[0] + 1) / self._width
+                              * self._cycle_ps))
+        sim.at(max(base_time + gap_ps, sim.now), self._step, None)
 
     # -- the main loop -------------------------------------------------------------
 
@@ -150,9 +157,9 @@ class Core:
 
     def _should_block(self) -> bool:
         o = self.outstanding
-        if len(o) >= self.cfg.max_outstanding_misses:
+        if len(o) >= self._max_misses:
             return True
-        if o and self.icount - min(o.values()) >= self.cfg.rob_entries:
+        if o and self.icount - min(o.values()) >= self._rob:
             return True
         return False
 

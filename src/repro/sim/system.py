@@ -33,7 +33,7 @@ from repro.mem.llc_writeback import DRAMAwareWritebackIndex
 from repro.mem.mshr import MSHRFile
 from repro.mem.sram import SRAMCache
 from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
-from repro.sim.engine import Simulator
+from repro.sim.engine import make_simulator
 from repro.snapshot import WARM_STATE_VERSION, WarmState, WarmStateError
 from repro.workloads.cursor import TraceCursor
 from repro.workloads.profiles import BenchmarkProfile
@@ -134,7 +134,8 @@ class System:
                  organization: str = "sa", xor_remap: bool = False,
                  use_mapi: bool = True, scheduler: str = "bliss",
                  lee_writeback: bool = False, seed: int = 0,
-                 footprint_scale: float = 1.0, model_l1: bool = False):
+                 footprint_scale: float = 1.0, model_l1: bool = False,
+                 engine: Optional[str] = None):
         if not benchmarks:
             raise ValueError("need at least one benchmark")
         cfg = replace(cfg, num_cores=len(benchmarks))
@@ -143,7 +144,13 @@ class System:
         self.organization = organization
         self.xor_remap = xor_remap
         self.benchmarks = list(benchmarks)
-        self.sim = Simulator()
+        # Calendar buckets sized to the DRAM command clock: every bank
+        # or bus hazard resolves a small multiple of tCK ahead, so the
+        # near-future ring absorbs virtually all scheduling.  ``engine``
+        # (None = the module default, normally "calendar") exists for
+        # the perf harness's old-vs-new comparison and the lockstep
+        # equivalence tests.
+        self.sim = make_simulator(engine, bucket_ps=cfg.timings.tCK)
         self.controller = make_controller(
             design, self.sim, cfg, organization=organization,
             xor_remap=xor_remap, use_mapi=use_mapi, scheduler=scheduler)
@@ -300,9 +307,19 @@ class System:
         array = self.controller.array
         scale = self._footprint_scale
         if prefill:
+            # Consecutive bulk ranges are fused into one grouped pass
+            # (bulk_fill_many visits each shared set once instead of once
+            # per benchmark); insertion order — and thus LRU clocks,
+            # evictions, and final contents — is exactly the sequential
+            # per-benchmark order, so a prefill_blocks workload in the
+            # middle just flushes the pending batch first.
+            pending: list = []
             for i, prof in enumerate(self.benchmarks):
                 prefill_blocks = getattr(prof, "prefill_blocks", None)
                 if prefill_blocks is not None:
+                    if pending:
+                        array.bulk_fill_many(pending)
+                        pending = []
                     # Workloads with non-contiguous footprints (trace
                     # replay, adversaries) name their exact warm set; the
                     # contiguous bulk fill below would warm blocks they
@@ -313,9 +330,10 @@ class System:
                     continue
                 n_blocks = max(1024, int(prof.footprint_bytes * scale)
                                // self.cfg.l2.block_bytes)
-                array.bulk_fill(i << 44, n_blocks,
-                                dirty_fraction=prof.store_fraction,
-                                seed=i + 1)
+                pending.append((i << 44, n_blocks,
+                                prof.store_fraction, i + 1))
+            if pending:
+                array.bulk_fill_many(pending)
         l2 = self.l2
         for core in self.cores:
             trace = core.trace

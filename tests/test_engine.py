@@ -1,13 +1,48 @@
-"""Discrete-event engine: ordering, cancellation, determinism."""
+"""Discrete-event engine: ordering, cancellation, determinism, boundaries.
+
+Nearly every test runs against **both** engines — the calendar queue
+(``Simulator``) and the binary-heap reference (``HeapSimulator``) — via
+the ``make_sim`` fixture: the two must be behaviourally indistinguishable
+through the public API.  ``TestRunStopBoundaries`` pins the exact
+``run(until=...)`` / ``max_events`` / ``stop()`` interaction semantics
+(including the historical quirk where an exhausted budget still advances
+the clock to ``until``) so the batched calendar dispatch cannot silently
+change stop behaviour.  Calendar-only mechanics (overflow migration,
+bucket wrap, the event freelist) get their own classes.
+"""
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import (
+    Event,
+    HeapSimulator,
+    Simulator,
+    make_simulator,
+)
+
+
+@pytest.fixture(params=["calendar", "heap"])
+def make_sim(request):
+    """Factory for one engine kind; calendar kwargs ignored by heap."""
+    kind = request.param
+
+    def factory(**kwargs):
+        return make_simulator(kind, **kwargs)
+
+    factory.kind = kind
+    return factory
+
+
+def held(sim) -> int:
+    """Events physically held by the engine (live + cancelled corpses)."""
+    if isinstance(sim, HeapSimulator):
+        return len(sim._heap)
+    return sim._size
 
 
 class TestScheduling:
-    def test_events_run_in_time_order(self):
-        sim = Simulator()
+    def test_events_run_in_time_order(self, make_sim):
+        sim = make_sim()
         log = []
         sim.at(300, log.append, "c")
         sim.at(100, log.append, "a")
@@ -15,42 +50,55 @@ class TestScheduling:
         sim.run()
         assert log == ["a", "b", "c"]
 
-    def test_ties_broken_by_insertion_order(self):
-        sim = Simulator()
+    def test_ties_broken_by_insertion_order(self, make_sim):
+        sim = make_sim()
         log = []
         for tag in "abcde":
             sim.at(500, log.append, tag)
         sim.run()
         assert log == list("abcde")
 
-    def test_after_relative(self):
-        sim = Simulator()
+    def test_after_relative(self, make_sim):
+        sim = make_sim()
         sim.at(100, lambda _: sim.after(50, lambda _: None))
         sim.run()
         assert sim.now == 150
 
-    def test_past_scheduling_rejected(self):
-        sim = Simulator()
+    def test_past_scheduling_rejected(self, make_sim):
+        sim = make_sim()
         sim.at(100, lambda _: None)
         sim.run()
         with pytest.raises(ValueError):
             sim.at(50, lambda _: None)
 
-    def test_negative_delay_rejected(self):
+    def test_negative_delay_rejected(self, make_sim):
         with pytest.raises(ValueError):
-            Simulator().after(-1, lambda _: None)
+            make_sim().after(-1, lambda _: None)
 
-    def test_arg_passed(self):
-        sim = Simulator()
+    def test_arg_passed(self, make_sim):
+        sim = make_sim()
         got = []
         sim.at(10, got.append, 42)
         sim.run()
         assert got == [42]
 
+    def test_same_time_event_scheduled_mid_batch_joins_it(self, make_sim):
+        """A callback scheduling at ``sim.now`` runs within the same
+        timestamp, after every event already scheduled there."""
+        sim = make_sim()
+        log = []
+        sim.at(100, lambda _: (log.append("a"),
+                               sim.at(100, log.append, "d")))
+        sim.at(100, log.append, "b")
+        sim.at(100, log.append, "c")
+        sim.at(200, log.append, "late")
+        sim.run()
+        assert log == ["a", "b", "c", "d", "late"]
+
 
 class TestCancellation:
-    def test_cancelled_event_skipped(self):
-        sim = Simulator()
+    def test_cancelled_event_skipped(self, make_sim):
+        sim = make_sim()
         log = []
         ev = sim.at(100, log.append, "dead")
         sim.at(200, log.append, "alive")
@@ -58,23 +106,23 @@ class TestCancellation:
         sim.run()
         assert log == ["alive"]
 
-    def test_pending_counts_live_only(self):
-        sim = Simulator()
+    def test_pending_counts_live_only(self, make_sim):
+        sim = make_sim()
         ev = sim.at(100, lambda _: None)
         sim.at(200, lambda _: None)
         ev.cancel()
         assert sim.pending() == 1
 
-    def test_double_cancel_counts_once(self):
-        sim = Simulator()
+    def test_double_cancel_counts_once(self, make_sim):
+        sim = make_sim()
         ev = sim.at(100, lambda _: None)
         sim.at(200, lambda _: None)
         ev.cancel()
         ev.cancel()
         assert sim.pending() == 1
 
-    def test_cancel_after_run_is_a_noop(self):
-        sim = Simulator()
+    def test_cancel_after_run_is_a_noop(self, make_sim):
+        sim = make_sim()
         ev = sim.at(100, lambda _: None)
         sim.run()
         ev.cancel()                     # event already executed
@@ -83,26 +131,39 @@ class TestCancellation:
         sim.at(200, lambda _: None)
         assert sim.pending() == 1
 
-    def test_pending_is_a_counter_not_a_scan(self):
-        sim = Simulator()
+    def test_cancel_mid_batch(self, make_sim):
+        """Cancelling a later same-timestamp event from an earlier one
+        must suppress it even though both were staged together."""
+        sim = make_sim()
+        log = []
+        victims = []
+        sim.at(100, lambda _: victims[0].cancel())
+        victims.append(sim.at(100, log.append, "dead"))
+        sim.at(100, log.append, "alive")
+        sim.run()
+        assert log == ["alive"]
+        assert sim.pending() == 0
+
+    def test_pending_is_a_counter_not_a_scan(self, make_sim):
+        sim = make_sim()
         events = [sim.at(t, lambda _: None) for t in range(1, 50)]
         events[0].cancel()
         assert sim.pending() == 48
         assert sim._live == 48
 
-    def test_heap_compacts_when_mostly_cancelled(self):
-        sim = Simulator()
+    def test_compacts_when_mostly_cancelled(self, make_sim):
+        sim = make_sim()
         events = [sim.at(t, lambda _: None) for t in range(1, 201)]
         for ev in events[:150]:
             ev.cancel()
         # Compaction bounds the dead fraction: once cancelled events
-        # exceed half the heap they are dropped, so the heap can never
-        # hold more than ~2x the live events.
-        assert len(sim._heap) <= 2 * sim.pending()
+        # exceed half the queue they are dropped, so the engine never
+        # holds more than ~2x the live events.
+        assert held(sim) <= 2 * sim.pending()
         assert sim.pending() == 50
 
-    def test_compaction_preserves_order_and_results(self):
-        sim = Simulator()
+    def test_compaction_preserves_order_and_results(self, make_sim):
+        sim = make_sim()
         log = []
         events = [sim.at(t, log.append, t) for t in range(1, 201)]
         for ev in events[::2]:   # cancel every even-index event
@@ -114,10 +175,10 @@ class TestCancellation:
                      if (t - 1) % 2 and (t - 2) % 4]
         assert log == survivors
 
-    def test_cancel_during_run_is_safe(self):
+    def test_cancel_during_run_is_safe(self, make_sim):
         """A callback cancelling enough events to trigger compaction must
-        not desynchronise the loop's local heap alias."""
-        sim = Simulator()
+        not desynchronise the loop's view of the queue."""
+        sim = make_sim()
         log = []
         later = [sim.at(1000 + t, log.append, t) for t in range(100)]
 
@@ -130,12 +191,12 @@ class TestCancellation:
         sim.run()
         assert log == ["early"] + list(range(80, 100))
         assert sim.pending() == 0
-        assert not sim._heap
+        assert held(sim) == 0
 
 
 class TestRunControl:
-    def test_until_stops_clock(self):
-        sim = Simulator()
+    def test_until_stops_clock(self, make_sim):
+        sim = make_sim()
         log = []
         sim.at(100, log.append, 1)
         sim.at(900, log.append, 2)
@@ -143,8 +204,8 @@ class TestRunControl:
         assert log == [1]
         assert sim.now == 500
 
-    def test_until_resumable(self):
-        sim = Simulator()
+    def test_until_resumable(self, make_sim):
+        sim = make_sim()
         log = []
         sim.at(900, log.append, 2)
         sim.run(until=500)
@@ -152,23 +213,23 @@ class TestRunControl:
         assert log == [2]
         assert sim.now == 900
 
-    def test_until_with_empty_heap_advances_clock(self):
-        sim = Simulator()
+    def test_until_with_empty_queue_advances_clock(self, make_sim):
+        sim = make_sim()
         sim.run(until=777)
         assert sim.now == 777
 
-    def test_max_events(self):
-        sim = Simulator()
+    def test_max_events(self, make_sim):
+        sim = make_sim()
         log = []
         for t in (1, 2, 3, 4):
             sim.at(t, log.append, t)
         sim.run(max_events=2)
         assert log == [1, 2]
 
-    def test_max_events_zero_runs_nothing(self):
+    def test_max_events_zero_runs_nothing(self, make_sim):
         """Regression: ``max_events=0`` used to mean unlimited (the
         ``budget > 0`` guard never fired); it must execute zero events."""
-        sim = Simulator()
+        sim = make_sim()
         log = []
         sim.at(100, log.append, 1)
         sim.run(max_events=0)
@@ -176,8 +237,8 @@ class TestRunControl:
         assert sim.now == 0
         assert sim.pending() == 1
 
-    def test_max_events_zero_is_resumable(self):
-        sim = Simulator()
+    def test_max_events_zero_is_resumable(self, make_sim):
+        sim = make_sim()
         log = []
         sim.at(100, log.append, 1)
         sim.run(max_events=0)
@@ -185,15 +246,15 @@ class TestRunControl:
         assert log == [1]
         assert sim.now == 100
 
-    def test_events_run_counter(self):
-        sim = Simulator()
+    def test_events_run_counter(self, make_sim):
+        sim = make_sim()
         for t in (1, 2, 3):
             sim.at(t, lambda _: None)
         sim.run()
         assert sim.events_run == 3
 
-    def test_drain_stop_condition(self):
-        sim = Simulator()
+    def test_drain_stop_condition(self, make_sim):
+        sim = make_sim()
         count = [0]
 
         def tick(_):
@@ -206,10 +267,192 @@ class TestRunControl:
         assert count[0] == 5
 
 
+class TestRunStopBoundaries:
+    """Pin the exact ``until`` x ``max_events`` x ``stop()`` semantics.
+
+    These behaviours predate the calendar engine; the suite pins them on
+    the heap reference and requires the calendar port to match, so the
+    batched dispatch cannot change any stop condition.  Where a combined
+    behaviour is quirky (an exhausted budget advancing the clock to
+    ``until`` past undispatched events), the quirk itself is pinned —
+    both engines must agree, and callers rely on pinned semantics.
+    """
+
+    def test_until_exactly_at_event_time_runs_the_event(self, make_sim):
+        sim = make_sim()
+        log = []
+        sim.at(500, log.append, "on-the-line")
+        sim.at(501, log.append, "past")
+        sim.run(until=500)
+        assert log == ["on-the-line"]
+        assert sim.now == 500
+        sim.run()
+        assert log == ["on-the-line", "past"]
+
+    def test_until_exactly_at_tied_events_runs_the_whole_batch(self, make_sim):
+        sim = make_sim()
+        log = []
+        for tag in "abc":
+            sim.at(500, log.append, tag)
+        sim.run(until=500)
+        assert log == ["a", "b", "c"]
+        assert sim.now == 500
+
+    def test_until_between_cancelled_events(self, make_sim):
+        """Cancelled corpses on either side of ``until`` never run; the
+        clock still lands exactly on ``until``."""
+        sim = make_sim()
+        log = []
+        before = sim.at(100, log.append, "cancelled-before")
+        sim.at(200, log.append, "live-before")
+        after = sim.at(900, log.append, "cancelled-after")
+        sim.at(950, log.append, "live-after")
+        before.cancel()
+        after.cancel()
+        sim.run(until=500)
+        assert log == ["live-before"]
+        assert sim.now == 500
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["live-before", "live-after"]
+
+    def test_until_with_only_cancelled_events(self, make_sim):
+        sim = make_sim()
+        evs = [sim.at(t, lambda _: None) for t in (100, 200, 300)]
+        for ev in evs:
+            ev.cancel()
+        sim.run(until=250)
+        assert sim.now == 250
+        assert sim.pending() == 0
+        assert sim.events_run == 0
+
+    def test_max_events_hits_mid_batch(self, make_sim):
+        """A budget expiring between same-timestamp events splits the
+        batch; the remainder runs, in order, on resume."""
+        sim = make_sim()
+        log = []
+        for tag in "abcde":
+            sim.at(100, log.append, tag)
+        sim.run(max_events=2)
+        assert log == ["a", "b"]
+        assert sim.now == 100
+        assert sim.pending() == 3
+        sim.run(max_events=1)
+        assert log == ["a", "b", "c"]
+        sim.run()
+        assert log == list("abcde")
+
+    def test_budget_exhaustion_still_advances_clock_to_until(self, make_sim):
+        """Pinned quirk: when ``max_events`` stops the loop first, the
+        clock still jumps to ``until`` — even past undispatched events —
+        and a later run() dispatches them at their own (now past) times.
+        """
+        sim = make_sim()
+        log = []
+        sim.at(100, lambda _: log.append(("a", sim.now)))
+        sim.at(200, lambda _: log.append(("b", sim.now)))
+        sim.run(until=500, max_events=1)
+        assert log == [("a", 100)]
+        assert sim.now == 500            # jumped past the pending event
+        assert sim.pending() == 1
+        sim.run()
+        # The leftover dispatches at its own timestamp: the clock moves
+        # backwards across run() calls in this (test-only) regime.
+        assert log == [("a", 100), ("b", 200)]
+        assert sim.now == 200
+
+    def test_budget_exhaustion_mid_batch_with_until(self, make_sim):
+        sim = make_sim()
+        log = []
+        for tag in "abc":
+            sim.at(100, log.append, tag)
+        sim.run(until=400, max_events=2)
+        assert log == ["a", "b"]
+        assert sim.now == 400
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 100
+
+    def test_stop_during_run_with_until_leaves_clock_at_event(self, make_sim):
+        """stop() consumed by run(until=...) returns at the stopping
+        event's time — it does NOT advance the clock to ``until``."""
+        sim = make_sim()
+        sim.at(100, lambda _: sim.stop())
+        sim.at(900, lambda _: None)
+        assert sim.run(until=500) == 100
+        assert sim.now == 100
+        assert sim.pending() == 1
+
+    def test_stop_mid_batch_preserves_the_rest(self, make_sim):
+        sim = make_sim()
+        log = []
+        sim.at(100, log.append, "a")
+        sim.at(100, lambda _: sim.stop())
+        sim.at(100, log.append, "b")
+        sim.run()
+        assert log == ["a"]
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_stop_is_one_shot(self, make_sim):
+        sim = make_sim()
+        log = []
+        sim.at(100, lambda _: sim.stop())
+        sim.at(200, log.append, "next-run")
+        sim.run()
+        assert log == []
+        sim.run()                        # the request was consumed
+        assert log == ["next-run"]
+
+    def test_stop_requested_before_drain_runs_nothing(self, make_sim):
+        sim = make_sim()
+        log = []
+        sim.at(100, log.append, "x")
+        sim.stop()
+        sim.drain(lambda: False, check_every=1)
+        assert log == []
+        assert sim.pending() == 1
+        sim.drain(lambda: True, check_every=1)   # predicate True after 1 event
+        assert log == ["x"]
+
+    def test_stop_requested_before_run_is_consumed_after_one_event(self, make_sim):
+        """run() (unlike drain) checks stop only after each callback, so
+        a pre-set request lets exactly one event through."""
+        sim = make_sim()
+        log = []
+        sim.at(100, log.append, "one")
+        sim.at(200, log.append, "two")
+        sim.stop()
+        sim.run()
+        assert log == ["one"]
+        sim.run()
+        assert log == ["one", "two"]
+
+    def test_callback_exception_leaves_queue_consistent(self, make_sim):
+        sim = make_sim()
+        log = []
+
+        def boom(_):
+            raise RuntimeError("boom")
+
+        sim.at(100, log.append, "a")
+        sim.at(100, boom)
+        sim.at(100, log.append, "b")
+        sim.at(200, log.append, "c")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert log == ["a"]
+        assert sim.pending() == 2        # the faulting event is gone
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 200
+
+
 class TestDeterminism:
-    def test_identical_runs(self):
+    def test_identical_runs(self, make_sim):
         def run_once():
-            sim = Simulator()
+            sim = make_sim()
             log = []
 
             def spawn(depth):
@@ -223,3 +466,198 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestCalendarMechanics:
+    """Calendar-only coverage: overflow migration, wrap, tiny windows."""
+
+    def test_far_future_events_take_the_overflow_path(self):
+        sim = Simulator(bucket_ps=16, nbuckets=4)   # 64 ps horizon
+        log = []
+        sim.at(1_000_000, log.append, "far")
+        assert sim._overflow and not sim._ring_count
+        sim.at(10, log.append, "near")
+        assert sim._ring_count == 1
+        sim.run()
+        assert log == ["near", "far"]
+        assert sim.now == 1_000_000
+
+    def test_overflow_migrates_in_time_order(self):
+        sim = Simulator(bucket_ps=16, nbuckets=4)
+        log = []
+        # Spread across many windows, scheduled out of order.
+        times = [5, 700, 70, 1400, 130, 60, 1350, 2000, 65]
+        for t in times:
+            sim.at(t, log.append, t)
+        sim.run()
+        assert log == sorted(times)
+
+    def test_same_bucket_joiner_vs_overflow_resident(self):
+        """A callback scheduling into the currently-served *overflow*
+        bucket must not overtake later events of that bucket still in
+        the overflow heap (regression for the bucket-granular staging
+        of the overflow front)."""
+        sim = Simulator(bucket_ps=16, nbuckets=4)
+        log = []
+
+        def first(_):
+            log.append(("first", sim.now))
+            # Same 16 ps bucket as the overflow resident at 1010, later
+            # in time than it.
+            sim.at(1015, lambda _: log.append(("joiner", sim.now)))
+
+        sim.at(1005, first)          # bucket 62 (overflow: horizon is 64 ps)
+        sim.at(1010, lambda _: log.append(("resident", sim.now)))
+        sim.run()
+        assert log == [("first", 1005), ("resident", 1010),
+                       ("joiner", 1015)]
+
+    def test_ring_wrap_across_many_laps(self):
+        sim = Simulator(bucket_ps=4, nbuckets=4)    # 16 ps horizon
+        log = []
+
+        def hop(i):
+            log.append(sim.now)
+            if i < 200:
+                sim.after(3 + (i % 11), hop, i + 1)
+
+        sim.at(0, hop, 0)
+        sim.run()
+        assert log == sorted(log)
+        assert len(log) == 201
+
+    def test_schedule_behind_cursor_after_until_jump(self):
+        """until jumps the clock; a later schedule earlier than the
+        cursor's bucket must still dispatch first (cursor re-clamp)."""
+        sim = Simulator(bucket_ps=16, nbuckets=4)
+        log = []
+        sim.at(5000, log.append, "far")
+        sim.run(until=3000)
+        assert sim.now == 3000
+        sim.at(3001, log.append, "near")    # far behind the 5000 bucket
+        sim.run()
+        assert log == ["near", "far"]
+
+    def test_until_quirk_then_lapped_ring_recovers(self):
+        """After the budget+until clock jump, ring events left behind
+        can share a slot with newly scheduled lapped events; the scan
+        must recover the true order (recompute-cursor fallback)."""
+        sim = Simulator(bucket_ps=4, nbuckets=4)    # tiny: laps are easy
+        log = []
+        sim.at(10, log.append, 10)
+        sim.at(20, log.append, 20)
+        sim.run(until=1000, max_events=1)           # ran 10; clock at 1000
+        assert log == [10]
+        assert sim.now == 1000
+        # Same slot as the stranded event at 20 (both (t>>2) % 4): 20>>2=5,
+        # 1044>>2=261; 5 % 4 == 1 == 261 % 4.
+        sim.at(1044, log.append, 1044)
+        sim.run()
+        assert log == [10, 20, 1044]
+
+    def test_bucket_sizing_rounds_to_powers_of_two(self):
+        sim = Simulator(bucket_ps=833, nbuckets=5)
+        assert sim._shift == 10          # 833 -> 1024 ps buckets
+        assert sim._nbuckets == 8
+        with pytest.raises(ValueError):
+            Simulator(bucket_ps=0)
+        with pytest.raises(ValueError):
+            Simulator(nbuckets=1)
+
+
+class TestEventPool:
+    def test_events_are_recycled(self):
+        sim = Simulator()
+        sim.at(10, lambda _: None)       # handle NOT kept
+        sim.run()
+        assert len(sim._pool) == 1
+        pooled = sim._pool[0]
+        ev = sim.at(20, lambda _: None)
+        assert ev is pooled              # reused, not reallocated
+        assert not sim._pool
+
+    def test_held_handles_are_never_recycled(self):
+        sim = Simulator()
+        ev = sim.at(10, lambda _: None)
+        sim.run()
+        assert not sim._pool             # we still hold `ev`
+        ev.cancel()                      # and the late cancel stays a no-op
+        assert sim.pending() == 0
+        assert sim._cancelled == 0
+
+    def test_stale_handle_cannot_cancel_a_recycled_slot(self):
+        """Even when a handle *is* kept, dropping it returns the object
+        to circulation only via the GC, never the freelist — so a stale
+        cancel can't kill an unrelated future event."""
+        sim = Simulator()
+        log = []
+        ev = sim.at(10, lambda _: None)
+        sim.run()
+        ev.cancel()
+        del ev
+        fresh = sim.at(20, log.append, "alive")
+        assert not fresh.cancelled
+        sim.run()
+        assert log == ["alive"]
+
+    def test_cancelled_events_are_recycled_too(self):
+        sim = Simulator()
+        sim.at(10, lambda _: None).cancel()
+        sim.at(20, lambda _: None)
+        sim.run()
+        assert len(sim._pool) == 2
+
+    def test_pool_is_bounded(self):
+        from repro.sim.engine import _POOL_MAX
+        sim = Simulator()
+        for t in range(1, _POOL_MAX + 200):
+            sim.at(t, lambda _: None)
+        sim.run()
+        assert len(sim._pool) <= _POOL_MAX
+
+    def test_recycled_event_fields_are_reset(self):
+        sim = Simulator()
+        box = []
+        sim.at(10, box.append, "first")
+        sim.run()
+        ev = sim.at(25, box.append, "second")
+        assert (ev.time, ev.arg, ev.cancelled) == (25, "second", False)
+        sim.run()
+        assert box == ["first", "second"]
+
+
+class TestCrossEngineEquivalence:
+    """Smoke-level lockstep (the full property suite lives in
+    tests/test_engine_calendar.py)."""
+
+    def test_spawning_workload_matches(self):
+        def run(sim):
+            log = []
+
+            def spawn(depth):
+                log.append((sim.now, depth))
+                if depth < 7:
+                    sim.after(7919, spawn, depth + 1)    # overflow-scale
+                    sim.after(3, spawn, depth + 1)
+                    if depth % 3 == 0:
+                        ev = sim.at(sim.now + 11, log.append, "cx")
+                        ev.cancel()
+            sim.at(0, spawn, 0)
+            sim.run()
+            return log, sim.now, sim.events_run, sim.pending()
+
+        assert run(make_simulator("heap")) == run(make_simulator("calendar"))
+
+    def test_signatures_align_across_engines(self):
+        def build(sim):
+            sim.at(100, lambda _: None)
+            for t in (250, 250, 9000):
+                sim.at(t, str, t)
+            sim.at(400, str, "x").cancel()
+            sim.run(until=150)
+            return sim
+
+        a = build(make_simulator("heap")).signature()
+        b = build(make_simulator("calendar", bucket_ps=64,
+                                 nbuckets=8)).signature()
+        assert a == b

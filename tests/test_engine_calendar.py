@@ -1,0 +1,170 @@
+"""Property-based lockstep: calendar queue vs binary-heap reference.
+
+Hypothesis drives both engines through identical randomized traces of
+schedule / cancel / run(until) / run(max_events) / stop operations —
+including callback-driven scheduling and cancellation — and asserts the
+externally observable state is identical at every step: the clock, the
+events-run counter, the live-event count, and the exact callback
+dispatch order ``(now, tag)``.
+
+Calendar geometry (bucket width, ring size) is itself randomized so the
+overflow heap, bucket wrap, and lap-collision paths are all exercised;
+the heap engine is geometry-free and serves as the oracle.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import make_simulator
+
+
+class Trace:
+    """One engine executing a scripted operation sequence."""
+
+    def __init__(self, kind, bucket_ps, nbuckets):
+        self.sim = make_simulator(kind, bucket_ps=bucket_ps,
+                                  nbuckets=nbuckets)
+        self.log = []
+        self.handles = []            # all Event handles ever issued
+
+    def observe(self):
+        s = self.sim
+        return (s.now, s.events_run, s.pending(), tuple(self.log))
+
+    def _callback(self, spec):
+        """spec = (tag, spawn_delays, cancel_index)."""
+        tag, spawns, cxl = spec
+        sim = self.sim
+        self.log.append((sim.now, tag))
+        for d in spawns:
+            # Child callbacks are leaves: tag derived, no further spawns.
+            self.handles.append(
+                sim.after(d, self._callback, (f"{tag}+{d}", (), None)))
+        if cxl is not None and self.handles:
+            self.handles[cxl % len(self.handles)].cancel()
+
+    def apply(self, op):
+        kind = op[0]
+        sim = self.sim
+        if kind == "at":
+            _, delay, tag, spawns, cxl = op
+            self.handles.append(
+                sim.at(sim.now + delay, self._callback, (tag, spawns, cxl)))
+        elif kind == "cancel":
+            if self.handles:
+                self.handles[op[1] % len(self.handles)].cancel()
+        elif kind == "run":
+            sim.run()
+        elif kind == "run_until":
+            sim.run(until=sim.now + op[1])
+        elif kind == "run_max":
+            sim.run(max_events=op[1])
+        elif kind == "run_both":
+            sim.run(until=sim.now + op[1], max_events=op[2])
+        elif kind == "stop":
+            sim.stop()
+        elif kind == "drain":
+            target = sim.events_run + op[1]
+            sim.drain(lambda: sim.events_run >= target, check_every=op[2])
+
+
+# Delays up to ~20k ps: with 16-64 ps buckets and 4-16 slot rings the
+# horizon is at most 1024 ps, so far-future scheduling (overflow) and
+# near-term ring traffic are both common.
+_delays = st.integers(min_value=0, max_value=20_000)
+_spawns = st.lists(st.integers(min_value=1, max_value=9_000),
+                   min_size=0, max_size=3)
+_maybe_cancel = st.one_of(st.none(), st.integers(min_value=0,
+                                                 max_value=10_000))
+
+_tags = st.integers(min_value=0, max_value=10_000)
+
+_op = st.one_of(
+    st.tuples(st.just("at"), _delays, _tags, _spawns, _maybe_cancel),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10_000)),
+    st.tuples(st.just("run")),
+    st.tuples(st.just("run_until"), _delays),
+    st.tuples(st.just("run_max"), st.integers(min_value=0, max_value=8)),
+    st.tuples(st.just("run_both"), _delays,
+              st.integers(min_value=0, max_value=8)),
+    st.tuples(st.just("stop")),
+    st.tuples(st.just("drain"), st.integers(min_value=0, max_value=6),
+              st.integers(min_value=1, max_value=4)),
+)
+
+_geometry = st.tuples(
+    st.sampled_from([16, 64, 1024]),     # bucket_ps
+    st.sampled_from([4, 16, 512]),       # nbuckets
+)
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(_op, min_size=1, max_size=40), geometry=_geometry)
+def test_calendar_matches_heap_on_random_traces(ops, geometry):
+    bucket_ps, nbuckets = geometry
+    heap = Trace("heap", bucket_ps, nbuckets)
+    cal = Trace("calendar", bucket_ps, nbuckets)
+    for i, op in enumerate(ops):
+        heap.apply(op)
+        cal.apply(op)
+        assert cal.observe() == heap.observe(), (
+            f"divergence after op {i}: {op!r}")
+    # Flush everything still pending and compare the complete history.
+    heap.sim.run()
+    cal.sim.run()
+    assert cal.observe() == heap.observe()
+
+
+@settings(max_examples=100, deadline=None)
+@given(times=st.lists(st.integers(min_value=0, max_value=100_000),
+                      min_size=1, max_size=60),
+       cancels=st.sets(st.integers(min_value=0, max_value=59)),
+       geometry=_geometry)
+def test_static_schedules_pop_in_identical_order(times, cancels, geometry):
+    """Pure schedule-then-cancel-then-run traces: pop order must be the
+    stable (time, insertion) order on both engines."""
+    bucket_ps, nbuckets = geometry
+
+    def run(kind):
+        sim = make_simulator(kind, bucket_ps=bucket_ps, nbuckets=nbuckets)
+        log = []
+        handles = [sim.at(t, log.append, (t, i))
+                   for i, t in enumerate(times)]
+        for c in cancels:
+            if c < len(handles):
+                handles[c].cancel()
+        sim.run()
+        return log, sim.now, sim.events_run
+
+    assert run("calendar") == run("heap")
+
+
+@settings(max_examples=100, deadline=None)
+@given(times=st.lists(st.integers(min_value=0, max_value=50_000),
+                      min_size=1, max_size=40),
+       until_frac=st.floats(min_value=0.0, max_value=1.2),
+       budget=st.one_of(st.none(), st.integers(min_value=0, max_value=12)),
+       geometry=_geometry)
+def test_partial_runs_leave_identical_pending_sets(times, until_frac,
+                                                   budget, geometry):
+    """run(until, max_events) prefixes: clock, dispatched set, and the
+    signature of what remains must match, then resuming must too."""
+    bucket_ps, nbuckets = geometry
+    until = int(max(times) * until_frac)
+
+    def run(kind):
+        sim = make_simulator(kind, bucket_ps=bucket_ps, nbuckets=nbuckets)
+        log = []
+        for i, t in enumerate(times):
+            sim.at(t, log.append, (t, i))
+        sim.run(until=until, max_events=budget)
+        mid = (list(log), sim.now, sim.pending(), sim.signature()["heap"])
+        sim.run()
+        return mid, list(log), sim.now
+
+    assert run("calendar") == run("heap")

@@ -254,3 +254,68 @@ class TestPersistence:
         snap.schema_version = 0
         with pytest.raises(snapshot.SnapshotError):
             snapshot.restore(snap)
+
+
+class TestPooledEngineSnapshot:
+    """The calendar engine's Event freelist must never leak across a
+    snapshot boundary.
+
+    Pooled Event objects are *dead* storage awaiting reuse; if a restore
+    carried them over (or, worse, if restored live events aliased the
+    donor's pooled objects), the donor recycling an event would rewrite
+    the restored simulation's pending queue in place.  Both deepcopy and
+    pickle restore paths must therefore produce an empty pool and a
+    fully disjoint event object graph.
+    """
+
+    @staticmethod
+    def _held_events(sim) -> list:
+        """Every Event object the engine currently holds, dead or alive."""
+        evs = [e for bucket in sim._buckets for e in bucket]
+        evs += list(sim._overflow)
+        if sim._stage is not None:
+            evs += list(sim._stage[sim._stage_pos:])
+        evs += list(sim._pool)
+        return evs
+
+    def _donor_with_hot_pool(self, seed: int = 11) -> System:
+        b = begin(make_system("DCA", "bliss", seed=seed))
+        b.sim.run(max_events=5_000)
+        # The scenario must actually bite: the donor is mid-run with a
+        # populated freelist and live pending events.
+        assert b.sim._pool, "freelist empty - capture point too early"
+        assert b.sim.pending() > 0
+        return b
+
+    def test_restore_pool_is_empty_and_disjoint(self):
+        b = self._donor_with_hot_pool()
+        snap = snapshot.capture(b)
+        c = snapshot.restore(snap)
+
+        assert c.sim._pool == []
+        donor_ids = {id(e) for e in self._held_events(b.sim)}
+        restored_ids = {id(e) for e in self._held_events(c.sim)}
+        assert not donor_ids & restored_ids
+
+    def test_pickle_round_trip_pool_is_empty(self, tmp_path):
+        b = self._donor_with_hot_pool(seed=23)
+        path = snapshot.save(snapshot.capture(b), tmp_path / "pool.snap")
+        c = snapshot.restore(snapshot.load(path))
+        assert c.sim._pool == []
+        assert snapshot.state_signature(c) == snapshot.state_signature(b)
+
+    def test_donor_recycling_cannot_perturb_restored_run(self):
+        """Continue donor first (recycling its pooled events), then the
+        restored copy: if any restored event aliased donor storage the
+        continuations would diverge."""
+        b = self._donor_with_hot_pool(seed=37)
+        c = snapshot.restore(snapshot.capture(b))
+
+        log_b, log_c = spy_completions(b), spy_completions(c)
+        b.sim.run(max_events=2_000)       # donor churns its freelist...
+        res_b = b.finish()
+        c.sim.run(max_events=2_000)       # ...before the copy even moves
+        res_c = c.finish()
+
+        assert completion_times(log_c) == completion_times(log_b)
+        assert res_b.to_cache_dict() == res_c.to_cache_dict()
