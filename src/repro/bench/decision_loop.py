@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.config import BLISSConfig, DRAMOrganization, DRAMTimings
 from repro.core.access import Access, AccessRole, CacheRequest, Priority, RequestType

@@ -31,7 +31,7 @@ insertion order, keeping iteration deterministic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.access import Access, Priority
 

@@ -26,7 +26,7 @@ import os
 import traceback
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -41,7 +41,7 @@ from repro.sim.system import (
 from repro.snapshot import WARM_STATE_VERSION, WarmCache
 from repro.workloads.profiles import PROFILES, profile
 from repro.workloads.scenarios import workload_profiles
-from repro.workloads.table1 import TABLE1_MIXES, mix_profiles
+from repro.workloads.table1 import mix_profiles
 
 #: designs in the paper's presentation order
 DESIGNS = ("CD", "ROD", "DCA")

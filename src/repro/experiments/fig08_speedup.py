@@ -12,7 +12,6 @@ from typing import Sequence
 
 from repro.experiments.common import (
     DESIGNS,
-    RunSpec,
     SimParams,
     alone_ipc_table,
     alone_specs,

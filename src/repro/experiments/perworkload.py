@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import (
-    DESIGNS,
     RunSpec,
     SimParams,
     alone_ipc_table,

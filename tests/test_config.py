@@ -10,7 +10,6 @@ from repro.config import (
     DRAMTimings,
     MainMemoryConfig,
     QueueConfig,
-    SystemConfig,
     ns,
     paper_config,
     scaled_config,

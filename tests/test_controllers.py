@@ -8,7 +8,7 @@ callbacks and design-specific scheduling behavior.
 import pytest
 
 from repro.core import CDController, DCAController, RODController, make_controller
-from repro.core.access import CacheRequest, Priority, RequestType
+from repro.core.access import CacheRequest, RequestType
 from repro.sim.engine import Simulator
 
 

@@ -14,7 +14,6 @@ bucket wrap, the event freelist) get their own classes.
 import pytest
 
 from repro.sim.engine import (
-    Event,
     HeapSimulator,
     Simulator,
     make_simulator,

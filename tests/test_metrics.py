@@ -1,7 +1,5 @@
 """Weighted speedup, geometric means, normalization."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

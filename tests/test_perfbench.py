@@ -7,7 +7,6 @@ import pytest
 from repro.bench.decision_loop import (
     SCENARIOS,
     bench_scenario,
-    run_decision_loop,
     verify_equivalence,
 )
 from repro.bench.harness import BENCH_SCHEMA_VERSION, run_perf

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.experiments import common
-from repro.experiments.common import RunSpec, SimParams
+from repro.experiments.common import SimParams
 from repro.scenarios import SweepManifest, SweepSpec, parse_axis_value, run_sweep
 from repro.scenarios.cli import main as sweep_cli_main
 from repro.scenarios.cli import parse_axis, parse_shard

@@ -1,7 +1,5 @@
 """Request -> access translation (the paper's Fig. 2 sequences)."""
 
-import pytest
-
 from repro.cache.dramcache import DRAMCacheArray
 from repro.cache.translator import Translator
 from repro.config import DRAMCacheGeometry, DRAMOrganization

@@ -1,7 +1,5 @@
 """Benchmark profiles, trace generation, Table I, workload scenarios."""
 
-import dataclasses
-
 import pytest
 
 from repro.workloads.generator import BLOCK, make_trace
