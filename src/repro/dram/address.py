@@ -58,6 +58,12 @@ class AddressMapper:
         Enable the permutation-based bank remapping (Zhang et al.).
     """
 
+    __slots__ = ("org", "xor_remap",
+                 "_block_bits", "_col_bits", "_ch_bits", "_ra_bits",
+                 "_ba_bits", "_col_mask", "_ch_mask", "_ra_mask", "_ba_mask",
+                 "_col_shift", "_ch_shift", "_ra_shift", "_ba_shift",
+                 "_row_shift")
+
     def __init__(self, org: DRAMOrganization, xor_remap: bool = False):
         if org.channels & (org.channels - 1):
             raise ValueError("channel count must be a power of two")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
 from repro.dram.address import AddressMapper, DecodedAddress
 from repro.dram.stats import ChannelStats
+from repro.dram.channel import Channel
 from repro.dram.substrate import make_channel
 from repro.metrics.registry import MetricRegistry
 
@@ -21,6 +22,9 @@ class DRAMDevice:
     controller/system registries can mount the substrate subtree directly.
     """
 
+    __slots__ = ("timings", "org", "substrate", "mapper", "metrics",
+                 "channels")
+
     def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
                  xor_remap: bool = False,
                  substrate: SubstrateConfig | None = None):
@@ -30,7 +34,7 @@ class DRAMDevice:
                           else SubstrateConfig())
         self.mapper = AddressMapper(org, xor_remap=xor_remap)
         self.metrics = MetricRegistry()
-        self.channels = []
+        self.channels: list[Channel] = []
         for i in range(org.channels):
             channel = make_channel(timings, org, self.substrate)
             self.metrics.register(f"ch{i}", channel.stats)
@@ -39,7 +43,7 @@ class DRAMDevice:
     def decode(self, addr: int) -> DecodedAddress:
         return self.mapper.decode(addr)
 
-    def channel(self, idx: int):
+    def channel(self, idx: int) -> Channel:
         return self.channels[idx]
 
     def total_stats(self) -> ChannelStats:
