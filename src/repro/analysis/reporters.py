@@ -1,0 +1,48 @@
+"""Output formats for dca-lint findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.analysis.core import Finding, Rule
+
+#: Bump when the JSON payload shape changes (mirrors the repo's habit of
+#: versioning every machine-readable artifact).
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], stream: IO[str]) -> None:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    for f in findings:
+        stream.write(f.render() + "\n")
+    if findings:
+        rules = sorted({f.rule for f in findings})
+        stream.write(
+            f"\n{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({', '.join(rules)})\n"
+        )
+    else:
+        stream.write("clean: no findings\n")
+
+
+def render_json(findings: Sequence[Finding], stream: IO[str]) -> None:
+    payload = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def render_rule_list(rules: Sequence[Rule], stream: IO[str]) -> None:
+    for rule in rules:
+        stream.write(f"{rule.id}  {rule.name}\n")
+        stream.write(f"    {rule.description}\n")
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+}

@@ -1,0 +1,32 @@
+"""The registered dca-lint rule set.
+
+Each rule lives in its own module; ``ALL_RULES`` is the registry the CLI
+and :func:`repro.analysis.core.all_rules` instantiate from.  Order is
+the canonical R1..R6 numbering.
+"""
+
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.hotpath import HotPathRule
+from repro.analysis.rules.metrics import MetricsDisciplineRule
+from repro.analysis.rules.purity import EstimatePurityRule
+from repro.analysis.rules.schema import SchemaDisciplineRule
+from repro.analysis.rules.snapshot import SnapshotSafetyRule
+
+ALL_RULES = (
+    DeterminismRule,
+    SnapshotSafetyRule,
+    HotPathRule,
+    EstimatePurityRule,
+    MetricsDisciplineRule,
+    SchemaDisciplineRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "SnapshotSafetyRule",
+    "HotPathRule",
+    "EstimatePurityRule",
+    "MetricsDisciplineRule",
+    "SchemaDisciplineRule",
+]

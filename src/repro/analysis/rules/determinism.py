@@ -1,0 +1,127 @@
+"""R1 — determinism: no wall clocks, ambient randomness or set iteration.
+
+Every simulation result must be bit-reproducible from (config, seed).
+Wall-clock reads, the process-global ``random`` module, ``os.urandom``
+and UUIDs smuggle ambient entropy into that function; iterating a bare
+``set`` makes behaviour depend on hash seeding and insertion history.
+Scoped to the simulation packages (``sim/``, ``dram/``, ``cache/``,
+``mem/``) — the experiment layer may legitimately time things.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintRun,
+    Rule,
+    SourceModule,
+    dotted_call_name,
+    iter_imports,
+)
+
+_SIM_PACKAGES = ("sim", "dram", "cache", "mem")
+
+#: Canonical dotted names whose *call* injects nondeterminism.
+_BANNED_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Any module-level function of ``random`` (the shared, ambient RNG).
+#: Seeded ``random.Random(seed)`` instances are the sanctioned form.
+_RANDOM_MODULE = "random"
+
+
+def _canonical(name: str, aliases: dict[str, str]) -> str:
+    """Rewrite the first segment of a dotted name through the import map."""
+    head, dot, rest = name.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return name
+    return f"{origin}{dot}{rest}" if rest else origin
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_call_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+class DeterminismRule(Rule):
+    id = "R1"
+    name = "determinism"
+    description = (
+        "simulation packages must not read wall clocks, the global "
+        "random module, os.urandom or uuids, nor iterate bare sets "
+        "(order depends on hash seeding)"
+    )
+
+    @staticmethod
+    def _is_ambient_random(
+        name: str, canonical: str, aliases: dict[str, str]
+    ) -> bool:
+        """True for calls through the module-level ``random`` functions.
+
+        Matches ``random.shuffle(...)`` when ``random`` is the imported
+        module (any alias) and ``shuffle(...)`` when from-imported.
+        ``random.Random(seed)`` construction stays legal — instances of
+        it are the sanctioned RNG.
+        """
+        if not canonical.startswith(_RANDOM_MODULE + "."):
+            return False
+        attr = canonical.partition(".")[2]
+        if "." in attr or not attr or attr[0].isupper():
+            return False  # random.Random / random.SystemRandom classes
+        head = name.partition(".")[0]
+        return aliases.get(head) in (_RANDOM_MODULE, canonical)
+
+    def check(self, module: SourceModule, run: LintRun) -> Iterator[Finding]:
+        if not module.in_package(*_SIM_PACKAGES):
+            return
+        aliases = iter_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_call_name(node.func)
+                if name is None:
+                    continue
+                canonical = _canonical(name, aliases)
+                if canonical in _BANNED_CALLS:
+                    yield module.finding(
+                        self, node,
+                        f"call to {canonical}() injects nondeterminism; "
+                        f"derive values from (config, seed) instead",
+                    )
+                elif self._is_ambient_random(name, canonical, aliases):
+                    yield module.finding(
+                        self, node,
+                        f"call to the ambient {canonical}() RNG; use a "
+                        f"seeded random.Random instance instead",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield module.finding(
+                        self, node.iter,
+                        "iteration over a bare set is order-nondeterministic;"
+                        " sort it (or iterate a list/dict) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield module.finding(
+                            self, gen.iter,
+                            "comprehension over a bare set is order-"
+                            "nondeterministic; sort it first",
+                        )

@@ -1,0 +1,79 @@
+"""R5 — metrics discipline: counters live in MetricGroup, not ad-hoc dicts.
+
+PR 1 replaced seven bespoke stats dataclasses with the unified
+``MetricGroup``/``MetricRegistry`` pipeline: counters declared in a
+``COUNTERS`` tuple, reset/merge/snapshot handled centrally, values
+flowing schema-versioned into ``SystemResult``.  Ad-hoc ``self.stats_*``
+dicts bypass all of that — they don't reset between measure phases,
+don't merge across grid points, and silently vanish from results.
+
+Two checks, tree-wide:
+
+* assigning a mutable container to a stats-named instance attribute
+  (``stats``/``counters`` and ``stats_*``/``*_stats`` variants);
+* declaring a ``COUNTERS`` tuple on a class outside the MetricGroup
+  family (counter declarations belong to registry groups).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintRun,
+    Rule,
+    SourceModule,
+    assign_targets,
+    base_names,
+    is_mutable_container,
+    self_attr_target,
+)
+
+
+def _is_stats_name(attr: str) -> bool:
+    name = attr.lstrip("_")
+    return (name in ("stats", "counters")
+            or name.startswith(("stats_", "counters_"))
+            or name.endswith(("_stats", "_counters")))
+
+
+class MetricsDisciplineRule(Rule):
+    id = "R5"
+    name = "metrics-discipline"
+    description = (
+        "counters are mutated only via MetricRegistry groups; no ad-hoc "
+        "self.stats_* container attributes, no COUNTERS declarations "
+        "outside the MetricGroup family"
+    )
+
+    def check(self, module: SourceModule, run: LintRun) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None or not is_mutable_container(value):
+                    continue
+                for target in assign_targets(node):
+                    attr = self_attr_target(target)
+                    if attr is not None and _is_stats_name(attr):
+                        yield module.finding(
+                            self, node,
+                            f"ad-hoc stats container self.{attr}; declare "
+                            f"counters in a MetricGroup COUNTERS tuple and "
+                            f"register it with the MetricRegistry instead",
+                        )
+            elif isinstance(node, ast.ClassDef):
+                family = base_names(node) | {node.name}
+                if any(b.endswith(("Stats", "Group")) for b in family):
+                    continue
+                for stmt in node.body:
+                    for target in assign_targets(stmt):
+                        if (isinstance(target, ast.Name)
+                                and target.id == "COUNTERS"):
+                            yield module.finding(
+                                self, stmt,
+                                f"class {node.name} declares COUNTERS but "
+                                f"is not a MetricGroup; counter "
+                                f"declarations belong to registry groups",
+                            )

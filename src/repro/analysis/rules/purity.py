@@ -1,0 +1,64 @@
+"""R4 — estimate purity: ``estimate_*`` methods must not assign ``self.*``.
+
+Schedulers probe the substrate with ``estimate_burst_start`` while
+*deciding*; only ``issue`` may advance state.  PR 5 learned this the
+hard way: an early command-model draft synchronised scratch state inside
+its estimate path, so merely *considering* a candidate bent subsequent
+timing — the change was rolled back and the estimate path rebuilt as
+capture/compute/rollback.  This rule pins that lesson: any method whose
+name matches ``estimate_*`` / ``_estimate*`` may not assign, augment or
+annotate-assign a ``self.`` attribute.
+
+Observationally-pure bookkeeping (memo tables keyed by a generation
+counter) is the sanctioned exception — suppress the specific line with
+``# dca-lint: disable=R4`` and say why in a comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintRun,
+    Rule,
+    SourceModule,
+    assign_targets,
+    self_attr_target,
+)
+
+
+def _is_estimate_method(name: str) -> bool:
+    return name.startswith("estimate_") or name.startswith("_estimate")
+
+
+class EstimatePurityRule(Rule):
+    id = "R4"
+    name = "estimate-purity"
+    description = (
+        "estimate_* methods must not assign to self.* — probing a "
+        "candidate must never bend subsequent timing (PR 5 rollback)"
+    )
+
+    def check(self, module: SourceModule, run: LintRun) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_estimate_method(func.name):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign,
+                                         ast.AugAssign)):
+                    continue
+                for target in assign_targets(node):
+                    attr = self_attr_target(target)
+                    if attr is not None:
+                        yield module.finding(
+                            self, node,
+                            f"{func.name}() assigns self.{attr}; estimates "
+                            f"must be pure (issue() is where state moves). "
+                            f"If this is generation-keyed memo bookkeeping, "
+                            f"suppress with '# dca-lint: disable=R4' and "
+                            f"justify in a comment",
+                        )

@@ -1,0 +1,82 @@
+"""R6 — schema discipline: version bumps must be documented.
+
+``RESULT_SCHEMA_VERSION`` (repro/sim/system.py) keys every result-cache
+entry; bumping it invalidates every cached simulation on every machine.
+DESIGN.md's "Version history" table is the only record of *why* — each
+bump so far (v2 registry, v3 trace fixes, v4 exact termination, v5
+substrate fidelity) carries compatibility notes readers depend on.
+
+This repo-level rule parses the current ``RESULT_SCHEMA_VERSION`` out of
+``sim/system.py`` and requires DESIGN.md's version-history table to
+contain a row for exactly that version.  Bump-without-doc (or a missing
+DESIGN.md) is a finding anchored at the assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintRun, ProjectRule, SourceModule
+
+_VERSION_NAME = "RESULT_SCHEMA_VERSION"
+_SYSTEM_FILE = "sim/system.py"
+_DESIGN_FILE = "DESIGN.md"
+
+
+def _schema_version(module: SourceModule) -> tuple[int, ast.stmt] | None:
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == _VERSION_NAME
+                   for t in targets):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, int):
+            return value.value, stmt
+    return None
+
+
+class SchemaDisciplineRule(ProjectRule):
+    id = "R6"
+    name = "schema-discipline"
+    description = (
+        "RESULT_SCHEMA_VERSION bumps must co-occur with a DESIGN.md "
+        "version-history row documenting the change"
+    )
+
+    def project_check(self, run: LintRun) -> Iterator[Finding]:
+        module = run.module_by_file(_SYSTEM_FILE)
+        if module is None:
+            return  # system.py not in this lint scope; nothing to check
+        found = _schema_version(module)
+        if found is None:
+            return
+        version, stmt = found
+        if run.project_root is None:
+            return
+        design = run.project_root / _DESIGN_FILE
+        if not design.is_file():
+            yield module.finding(
+                self, stmt,
+                f"{_VERSION_NAME} = {version} but no {_DESIGN_FILE} found "
+                f"at the project root ({run.project_root}); the schema "
+                f"history lives there",
+            )
+            return
+        row = re.compile(rf"^\|\s*v?{version}\s*\|")
+        text = design.read_text(encoding="utf-8")
+        if not any(row.match(line) for line in text.splitlines()):
+            yield module.finding(
+                self, stmt,
+                f"{_VERSION_NAME} = {version} has no matching row in the "
+                f"{_DESIGN_FILE} version-history table; document what "
+                f"changed and why cached v{version - 1} entries are "
+                f"incompatible",
+            )

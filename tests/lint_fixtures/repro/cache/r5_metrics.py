@@ -1,0 +1,36 @@
+"""R5 fixture: ad-hoc counter containers vs registry-backed groups."""
+
+
+class AdHoc:
+    def capture_state(self):
+        return {}
+
+    def restore_state(self, state):
+        pass
+
+    def __init__(self):
+        self.stats_rowhits = {}           # expect: R5
+        self.turnaround_stats = []        # expect: R5
+        self.counters = dict()            # expect: R5
+        self._stats_by_bank = [0] * 8     # expect: R5
+
+
+class RogueCounters:                      # not a MetricGroup
+    COUNTERS = ("reads", "writes")        # expect: R5
+
+
+class BankStats(MetricGroup):  # noqa: F821 — parsed, never executed
+    COUNTERS = ("row_hits", "row_misses")
+
+
+class Disciplined:
+    def capture_state(self):
+        return {}
+
+    def restore_state(self, state):
+        pass
+
+    def __init__(self, registry):
+        self.stats = BankStats()          # a group object, not a container
+        registry.register("bank", self.stats)
+        self.queue_stats = BankStats()    # stats-named, but a group

@@ -1,0 +1,25 @@
+"""R3 fixture: slotless hot-path classes and closures in live state."""
+
+
+class BareTimingState:            # expect: R3
+    """dram/ class without __slots__."""
+
+    def __init__(self, t):
+        self.t = t
+
+
+class AlsoBare:                   # expect: R3
+    pass
+
+
+class Controller:
+    __slots__ = ("on_done", "hook", "ok")
+
+    def wire(self, latency):
+        self.on_done = lambda access: access.arrival + latency   # expect: R3
+
+        def drain(queue):
+            return queue.pop()
+
+        self.hook = drain         # expect: R3
+        self.ok = drain(None)

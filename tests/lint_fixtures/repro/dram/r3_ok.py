@@ -1,0 +1,61 @@
+"""R3 fixture: slotted hot classes, exempt families, legal callables."""
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import NamedTuple, Protocol
+
+
+class Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = 0
+        self.b = 0
+
+
+class RowState(IntEnum):
+    CLOSED = 0
+    HIT = 1
+
+
+class Decoded(NamedTuple):
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    cycle: int
+
+
+class SubstrateLike(Protocol):
+    bus_free: int
+
+
+class ChannelStats(MetricGroup):  # noqa: F821 — parsed, never executed
+    """MetricGroup family: dynamic counters, exempt from __slots__."""
+
+    COUNTERS = ("reads", "writes")
+
+
+class TimingError(ValueError):
+    pass
+
+
+def module_level_hook(access):
+    return access.arrival
+
+
+class Wired:
+    __slots__ = ("on_done", "row_of")
+
+    def __init__(self, mapper):
+        self.on_done = module_level_hook     # module function: picklable
+        self.row_of = mapper.row_of          # bound method: picklable
+
+
+class Waived:
+    __slots__ = ("fn",)
+
+    def wire(self):
+        self.fn = lambda: 0  # dca-lint: disable=R3

@@ -1,0 +1,36 @@
+"""R4 fixture: impure vs pure estimate methods (PR 5 rollback class)."""
+
+
+class Model:
+    __slots__ = ("bus_free", "_scratch", "_probe_count", "_memo", "_gen",
+                 "_memo_gen")
+
+    def estimate_burst_start(self, now):
+        self._scratch = now               # expect: R4
+        self._probe_count += 1            # expect: R4
+        return max(now, self.bus_free)
+
+    def _estimate_uncached(self, now):
+        self.bus_free = now + 4           # expect: R4
+        return self.bus_free
+
+    def estimate_pure(self, now):
+        start = max(now, self.bus_free)
+        local_scratch = start + 1
+        return local_scratch
+
+    def estimate_memoized(self, now):
+        if self._memo_gen != self._gen:
+            self._memo.clear()
+            # generation-keyed memo invalidation: observationally pure
+            self._memo_gen = self._gen    # dca-lint: disable=R4
+        return self._memo.get(now, self.bus_free)
+
+    def issue(self, now):
+        self.bus_free = now + 4           # issue() may move state
+        return self.bus_free
+
+    def estimated_total(self):
+        # name does not match estimate_* / _estimate*
+        self.bus_free += 0
+        return self.bus_free

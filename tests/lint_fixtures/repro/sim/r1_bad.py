@@ -1,0 +1,34 @@
+"""R1 fixture: every banned nondeterminism source, one per line."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from random import randint
+from time import perf_counter as pc
+
+
+def stamp():
+    t0 = time.time()          # expect: R1
+    t1 = pc()                 # expect: R1
+    t2 = datetime.now()       # expect: R1
+    return t0, t1, t2
+
+
+def entropy():
+    a = os.urandom(8)         # expect: R1
+    b = uuid.uuid4()          # expect: R1
+    c = random.random()       # expect: R1
+    random.shuffle([1, 2])    # expect: R1
+    d = randint(0, 7)         # expect: R1
+    return a, b, c, d
+
+
+def scan(banks):
+    order = []
+    for b in {3, 1, 2}:       # expect: R1
+        order.append(b)
+    hot = [b for b in set(banks)]      # expect: R1
+    cold = {b: 0 for b in frozenset(banks)}    # expect: R1
+    return order, hot, cold

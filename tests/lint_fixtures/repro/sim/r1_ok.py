@@ -1,0 +1,29 @@
+"""R1 fixture: the sanctioned forms of everything r1_bad does wrong."""
+
+import random
+
+
+class Workload:
+    __slots__ = ("rng",)
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def pick(self, items):
+        return self.rng.choice(items)
+
+
+def scan(banks):
+    order = []
+    for b in sorted({3, 1, 2}):
+        order.append(b)
+    hot = [b for b in sorted(set(banks))]
+    as_list = list(banks)
+    for b in as_list:
+        order.append(b)
+    return order, hot
+
+
+def suppressed_probe():
+    import time
+    return time.perf_counter()  # dca-lint: disable=R1
