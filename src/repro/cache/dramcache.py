@@ -15,9 +15,10 @@ scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Iterable, Iterator, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.cache.organizations import DirectMappedGeometry, SetAssociativeGeometry
 from repro.config import DRAMCacheGeometry
@@ -47,7 +48,8 @@ class FillResult:
 _MISS = LookupResult(False)
 
 
-def _last_of_group_mask(sorted_keys: "np.ndarray", limit: int) -> "np.ndarray":
+def _last_of_group_mask(sorted_keys: NDArray[np.int64],
+                        limit: int) -> NDArray[np.bool_]:
     """Mask keeping only the last ``limit`` elements of each run of equal
     keys in an already key-sorted array."""
     n = len(sorted_keys)
@@ -78,7 +80,7 @@ class _SASet:
         s.stamp = self.stamp[:]
         return s
 
-    def __deepcopy__(self, memo: dict) -> "_SASet":
+    def __deepcopy__(self, memo: dict[int, Any]) -> "_SASet":
         # Elements are scalars: a slice copy is semantically identical to
         # the generic element-wise deepcopy and ~4x faster, which is what
         # bounds full-simulator snapshot cost (the set dict dominates).
@@ -87,7 +89,7 @@ class _SASet:
         return s
 
 
-class _CowSets(dict):
+class _CowSets(dict[int, _SASet]):
     """Copy-on-access overlay over a frozen ``{set_idx: _SASet}`` backing.
 
     Warm-state forking hands the *same* captured set dictionary to every
@@ -107,13 +109,14 @@ class _CowSets(dict):
 
     __slots__ = ("_backing",)
 
-    def __init__(self, backing: dict):
+    def __init__(self, backing: dict[int, _SASet]):
         super().__init__()
         self._backing = backing
 
     # -- lookups (materialising) ------------------------------------------------
 
-    def get(self, key, default=None):
+    def get(self, key: int,  # type: ignore[override]
+            default: Optional[_SASet] = None) -> Optional[_SASet]:
         s = dict.get(self, key)
         if s is not None:
             return s
@@ -124,13 +127,13 @@ class _CowSets(dict):
         dict.__setitem__(self, key, s)
         return s
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: int) -> _SASet:
         s = self.get(key)
         if s is None:
             raise KeyError(key)
         return s
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: object) -> bool:
         return dict.__contains__(self, key) or key in self._backing
 
     # -- whole-dict views (tests / invariants; not on the hot path) -------------
@@ -144,34 +147,35 @@ class _CowSets(dict):
         n = dict.__len__(self)
         return n + sum(1 for k in self._backing if not dict.__contains__(self, k))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         yield from dict.__iter__(self)
         for k in self._backing:
             if not dict.__contains__(self, k):
                 yield k
 
-    def keys(self):
+    def keys(self) -> list[int]:  # type: ignore[override]
         """Merged key list (a plain list, not a live dict view)."""
         return list(self)
 
-    def items(self):
+    def items(self) -> list[tuple[int, _SASet]]:  # type: ignore[override]
         """Merged ``(key, set)`` pairs; materialises backing sets."""
         return [(k, self[k]) for k in self]
 
-    def values(self):
+    def values(self) -> list[_SASet]:  # type: ignore[override]
         return [self[k] for k in self]
 
-    def copy(self) -> dict:
+    def copy(self) -> dict[int, _SASet]:
         """A plain, fully-independent dict of the merged view."""
         return self.frozen_merge()
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         """Value equality over the merged view (sets compared by content,
         since ``_SASet`` itself compares by identity)."""
         if not isinstance(other, dict):
             return NotImplemented
 
-        def contents(items):
+        def contents(items: Iterable[tuple[int, _SASet]],
+                     ) -> dict[int, tuple[Any, Any, Any]]:
             return {k: (tuple(s.tags), tuple(s.dirty), tuple(s.stamp))
                     for k, s in items}
 
@@ -179,21 +183,21 @@ class _CowSets(dict):
                        else other.items())
         return contents(self.peek_items()) == contents(other_items)
 
-    __hash__ = None   # as for any dict
+    __hash__ = None   # type: ignore[assignment]  # as for any dict
 
-    def __ne__(self, other) -> bool:
+    def __ne__(self, other: object) -> bool:
         # Explicit: dict's C-level != would bypass the merged-view __eq__.
         result = self.__eq__(other)
         return result if result is NotImplemented else not result
 
-    def _unsupported(self, *_a, **_kw):
+    def _unsupported(self, *_a: Any, **_kw: Any) -> Any:
         raise NotImplementedError(
             "mutation of a copy-on-write set view beyond get/[]= is not "
             "supported (see _CowSets)")
 
-    pop = popitem = setdefault = update = clear = __delitem__ = _unsupported
+    pop = popitem = setdefault = update = clear = __delitem__ = _unsupported  # type: ignore[assignment]
 
-    def peek(self, key):
+    def peek(self, key: int) -> Optional[_SASet]:
         """Read-only lookup: never materialises a backing set.
 
         The returned set may belong to the frozen backing — callers must
@@ -206,7 +210,7 @@ class _CowSets(dict):
             return s
         return self._backing.get(key)
 
-    def peek_items(self):
+    def peek_items(self) -> Iterator[tuple[int, _SASet]]:
         """Iterate the merged view *without* materialising backing sets.
 
         For read-only inspection (signatures, invariants): yielded backing
@@ -217,7 +221,7 @@ class _CowSets(dict):
             if not dict.__contains__(self, k):
                 yield k, b
 
-    def frozen_merge(self) -> dict:
+    def frozen_merge(self) -> dict[int, _SASet]:
         """A plain, independent ``{set_idx: _SASet}`` copy of the full view.
 
         Used to produce a new frozen backing when a warm capture is taken
@@ -229,7 +233,7 @@ class _CowSets(dict):
                 out[k] = b.clone()
         return out
 
-    def __deepcopy__(self, memo: dict) -> "_CowSets":
+    def __deepcopy__(self, memo: dict[int, Any]) -> "_CowSets":
         # The backing is frozen, so the copy may share it; only the
         # overlay (this run's private mutations) needs copying.
         new = _CowSets(self._backing)
@@ -238,13 +242,13 @@ class _CowSets(dict):
             dict.__setitem__(new, k, s.clone())
         return new
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Pickled snapshots are process-portable plain dicts: sharing a
         # backing across a process boundary is meaningless.
         return (_cow_sets_from_plain, (self.frozen_merge(),))
 
 
-def _cow_sets_from_plain(sets: dict) -> "_CowSets":
+def _cow_sets_from_plain(sets: dict[int, _SASet]) -> "_CowSets":
     return _CowSets(sets)
 
 
@@ -511,7 +515,7 @@ class DRAMCacheArray:
                         dirty_evictions += 1
                 del merged[:m - ways]
                 m = ways
-            s.stamp[:m], s.tags[:m], s.dirty[:m] = zip(*merged)
+            s.stamp[:m], s.tags[:m], s.dirty[:m] = zip(*merged)  # type: ignore[assignment]
             if m < ways:
                 s.tags[m:] = empty_tags[m:]
                 s.dirty[m:] = empty_dirty[m:]
@@ -519,7 +523,7 @@ class DRAMCacheArray:
         self._clock = clock
         self.dirty_evictions = dirty_evictions
 
-    def bulk_fill_many(self, fills: list) -> None:
+    def bulk_fill_many(self, fills: list[tuple[int, int, float, int]]) -> None:
         """Apply several :meth:`bulk_fill` ranges in one fused pass.
 
         ``fills`` is a list of ``(start_addr, n_blocks, dirty_fraction,
@@ -552,7 +556,10 @@ class DRAMCacheArray:
         ways = self.sa.ways
         clock0 = self._clock
         assigned = 0                      # clipped inserts stamped so far
-        sid_parts, tag_parts, dirty_parts, stamp_parts = [], [], [], []
+        sid_parts: list[NDArray[np.int64]] = []
+        tag_parts: list[NDArray[np.int64]] = []
+        dirty_parts: list[NDArray[np.bool_]] = []
+        stamp_parts: list[NDArray[np.int64]] = []
         for start_addr, n_blocks, dirty_fraction, seed in fills:
             if n_blocks <= 0:
                 continue
@@ -632,7 +639,7 @@ class DRAMCacheArray:
 
     # -- snapshot hooks (see repro/snapshot.py and DESIGN.md) -------------------
 
-    def contents_signature(self) -> tuple:
+    def contents_signature(self) -> tuple[Any, ...]:
         """Value-only digest of the functional contents (snapshot tests).
 
         Deterministically ordered and identity-free, so signatures of
@@ -648,7 +655,7 @@ class DRAMCacheArray:
                 sorted((k, tuple(s.tags), tuple(s.dirty), tuple(s.stamp))
                        for k, s in items))
 
-    def capture_state(self) -> dict:
+    def capture_state(self) -> dict[str, Any]:
         """Freeze the functional contents for warm-state forking.
 
         Returns a state dict whose set-associative backing is *shared*
@@ -659,7 +666,8 @@ class DRAMCacheArray:
         Direct-mapped entries are immutable tuples, so a plain dict copy
         suffices there.
         """
-        state = {"organization": self.organization, "clock": self._clock}
+        state: dict[str, Any] = {"organization": self.organization,
+                                 "clock": self._clock}
         if self.is_direct_mapped:
             state["dm"] = dict(self._dm_entries)
         else:
@@ -672,7 +680,7 @@ class DRAMCacheArray:
             state["sa"] = backing
         return state
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Adopt functional contents captured by :meth:`capture_state`.
 
         The restored array reads through to the frozen image and copies

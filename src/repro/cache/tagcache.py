@@ -16,6 +16,8 @@ are few.  This model reproduces that accounting.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.cache.dramcache import DRAMCacheArray
 from repro.metrics.registry import MetricGroup, derived
 
@@ -64,7 +66,7 @@ class TagCache:
         if size_bytes:
             self.num_sets = max(1, size_bytes // (self.BLOCK * assoc))
             # set idx -> list of [tag_block_addr, dirty, stamp]
-            self._sets: dict[int, list[list]] = {}
+            self._sets: dict[int, list[list[Any]]] = {}
             self._clock = 0
         else:
             self.num_sets = 0
@@ -82,7 +84,7 @@ class TagCache:
         h = tag_block ^ (tag_block >> 4) ^ (tag_block >> 11)
         return h % self.num_sets
 
-    def _lookup(self, tag_block: int) -> list | None:
+    def _lookup(self, tag_block: int) -> list[Any] | None:
         s = self._sets.get(self._set_of(tag_block))
         if s is None:
             return None

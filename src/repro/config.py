@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field, replace
 from functools import cached_property
+from typing import Any, Iterable, Mapping, Union
 
 PS_PER_NS = 1000
 
@@ -61,7 +62,7 @@ class DRAMTimings:
     tREFI: int = 0   # average periodic refresh interval (0 = no refresh)
     tRFC: int = 0    # refresh cycle time: rank blackout per refresh
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # A typo'd timing (0, negative, or tRFC swallowing the whole
         # refresh interval) used to silently produce garbage results;
         # reject it at construction instead.
@@ -155,7 +156,7 @@ class SubstrateConfig:
     #: idle time after which the "timeout" policy auto-precharges a row
     page_timeout_ps: int = ns(200)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.fidelity not in SUBSTRATE_FIDELITIES:
             raise ValueError(
                 f"unknown substrate fidelity {self.fidelity!r}; "
@@ -367,7 +368,10 @@ class SystemConfig:
         """Return a copy with the per-design queue sizes from Table II."""
         return replace(self, queues=QueueConfig.for_design(design))
 
-    def with_overrides(self, overrides) -> "SystemConfig":
+    def with_overrides(
+            self,
+            overrides: Union[Mapping[str, Any],
+                             Iterable[tuple[str, Any]]]) -> "SystemConfig":
         """Return a copy with dotted-path fields replaced.
 
         ``overrides`` is a mapping or sequence of ``(path, value)`` pairs
@@ -392,7 +396,7 @@ class SystemConfig:
         return cfg
 
 
-def coerce_bool(value) -> bool:
+def coerce_bool(value: object) -> bool:
     """Canonicalise a bool spelled as bool, 0/1, or 'true'/'false'.
 
     The single bool-coercion rule shared by config overrides and sweep
@@ -407,7 +411,7 @@ def coerce_bool(value) -> bool:
     raise ValueError(f"cannot interpret {value!r} as a bool")
 
 
-def _coerce(current, value):
+def _coerce(current: Any, value: Any) -> Any:
     """Coerce an override value to the type of the field it replaces."""
     if isinstance(current, bool):
         return coerce_bool(value)
@@ -422,7 +426,7 @@ def _coerce(current, value):
     return type(current)(value)
 
 
-def _replace_path(obj, path: str, value):
+def _replace_path(obj: Any, path: str, value: Any) -> Any:
     """Functional deep-replace along a dotted dataclass field path.
 
     Only declared dataclass *fields* are addressable (not properties or

@@ -28,6 +28,10 @@ ROW_HIT = 0
 ROW_CLOSED = 1
 ROW_CONFLICT = 2
 
+#: The complete value state of one bank, as captured/restored:
+#: (open_row, act_time, ready_cas, ready_pre, ready_act).
+BankState = tuple[int | None, int, int, int, int]
+
 
 class RowState(IntEnum):
     """Public row-state names, derived from the hot-path int constants.
@@ -123,12 +127,12 @@ class Bank:
 
     # -- state capture (substrate protocol support) ---------------------------
 
-    def capture(self) -> tuple:
+    def capture(self) -> BankState:
         """Value tuple of the complete bank state (timings excluded)."""
         return (self.open_row, self.act_time, self.ready_cas,
                 self.ready_pre, self.ready_act)
 
-    def restore(self, state: tuple) -> None:
+    def restore(self, state: BankState) -> None:
         """Adopt a :meth:`capture` tuple."""
         (self.open_row, self.act_time, self.ready_cas,
          self.ready_pre, self.ready_act) = state

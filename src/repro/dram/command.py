@@ -40,9 +40,10 @@ any outcome (pinned by tests/test_substrate.py).
 from __future__ import annotations
 
 from collections import deque
+from typing import Any, ClassVar
 
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
-from repro.dram.bank import ROW_CLOSED, ROW_HIT
+from repro.dram.bank import ROW_CLOSED, ROW_HIT, Bank, BankState
 from repro.dram.channel import Channel
 from repro.dram.stats import CommandChannelStats
 
@@ -57,7 +58,7 @@ class CommandChannel(Channel):
                  "_act_history", "_refresh_due", "_blackout_end",
                  "_bank_last_end")
 
-    fidelity = "command"
+    fidelity: ClassVar[str] = "command"
 
     def __init__(self, timings: DRAMTimings, org: DRAMOrganization,
                  stats: CommandChannelStats | None = None,
@@ -79,7 +80,7 @@ class CommandChannel(Channel):
         self._refresh_on = bool(sub.refresh) and timings.tREFI > 0
         nranks = org.ranks_per_channel
         #: last FAW_DEPTH effective ACT times per rank (oldest first)
-        self._act_history: list[deque] = [deque(maxlen=FAW_DEPTH)
+        self._act_history: list[deque[int]] = [deque(maxlen=FAW_DEPTH)
                                           for _ in range(nranks)]
         #: next refresh due time per rank
         self._refresh_due = [timings.tREFI] * nranks
@@ -166,14 +167,15 @@ class CommandChannel(Channel):
                     if account:
                         self.stats.policy_closes += 1
 
-    def _capture_rank(self, rank: int) -> tuple:
+    def _capture_rank(self, rank: int) -> tuple[list[BankState], int, int]:
         """Scratch image of everything :meth:`_sync_rank` may touch."""
         base = rank * self.org.banks_per_rank
         return ([self.banks[base + i].capture()
                  for i in range(self.org.banks_per_rank)],
                 self._refresh_due[rank], self._blackout_end[rank])
 
-    def _restore_rank(self, rank: int, saved: tuple) -> None:
+    def _restore_rank(self, rank: int,
+                      saved: tuple[list[BankState], int, int]) -> None:
         base = rank * self.org.banks_per_rank
         bank_states, due, blackout = saved
         for i, state in enumerate(bank_states):
@@ -205,7 +207,7 @@ class CommandChannel(Channel):
             act, binding = blackout, 3
         return act, binding
 
-    def _earliest_cas(self, b, rank: int, row: int,
+    def _earliest_cas(self, b: Bank, rank: int, row: int,
                       now: int) -> tuple[int, int]:
         """Rank-constrained CAS time; returns ``(cas, binding)``.
 
@@ -281,7 +283,7 @@ class CommandChannel(Channel):
 
     # -------------------------------------------------------- state capture
 
-    def capture_state(self) -> dict:
+    def capture_state(self) -> dict[str, Any]:
         state = super().capture_state()
         state["command"] = {
             "act_history": [list(h) for h in self._act_history],
@@ -291,7 +293,7 @@ class CommandChannel(Channel):
         }
         return state
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         cmd = state["command"]
         nranks = self.org.ranks_per_channel
         # Validate the rank/bank structure before any mutation (the base

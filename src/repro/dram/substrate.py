@@ -31,10 +31,10 @@ config path.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
-from repro.dram.bank import RowState
+from repro.dram.bank import Bank, RowState
 from repro.dram.channel import Channel
 from repro.dram.command import CommandChannel
 from repro.dram.stats import ChannelStats
@@ -51,7 +51,7 @@ class Substrate(Protocol):
     fast paths read directly.
     """
 
-    banks: list
+    banks: list[Bank]
     bus_free: int
     stats: ChannelStats
 
@@ -67,14 +67,14 @@ class Substrate(Protocol):
 
     def reset_stats(self) -> None: ...
 
-    def capture_state(self) -> dict: ...
+    def capture_state(self) -> dict[str, Any]: ...
 
-    def restore_state(self, state: dict) -> None: ...
+    def restore_state(self, state: dict[str, Any]) -> None: ...
 
 
 def make_channel(timings: DRAMTimings, org: DRAMOrganization,
                  substrate: SubstrateConfig | None = None,
-                 stats: ChannelStats | None = None):
+                 stats: ChannelStats | None = None) -> Channel:
     """Construct one channel of the configured fidelity.
 
     With ``stats=None`` the model picks its own counter group —

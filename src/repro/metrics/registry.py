@@ -27,7 +27,9 @@ bit-identical JSON — the property the result cache relies on.
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Iterator, Mapping, Union
+from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Iterator, Mapping, TypeVar, Union
+
+_G = TypeVar("_G", bound="MetricGroup")
 
 
 class derived(property):
@@ -57,6 +59,16 @@ class MetricGroup:
     """
 
     COUNTERS: ClassVar[tuple[str, ...]] = ()
+    _derived_names: ClassVar[tuple[str, ...]]
+
+    if TYPE_CHECKING:
+        # Counters are bound dynamically from the COUNTERS declaration in
+        # __init__ (a plain setattr loop keeps them ordinary instance
+        # attributes, so hot-path `stats.x += 1` costs a dict store).
+        # These hooks exist only for the type checker: every dynamic
+        # attribute on a group is an int counter.
+        def __getattr__(self, name: str) -> int: ...
+        def __setattr__(self, name: str, value: int) -> None: ...
 
     def __init__(self, **counts: int):
         cls = type(self)
@@ -92,7 +104,7 @@ class MetricGroup:
         for name in type(self).COUNTERS:
             setattr(self, name, 0)
 
-    def merge(self, other: "MetricGroup") -> "MetricGroup":
+    def merge(self: _G, other: "MetricGroup") -> _G:
         """Return a new group with counters summed; inputs untouched."""
         cls = type(self)
         if type(other) is not cls:
@@ -102,7 +114,7 @@ class MetricGroup:
                       for n in cls.COUNTERS})
 
     @classmethod
-    def sum(cls, groups) -> "MetricGroup":
+    def sum(cls: type[_G], groups: Iterable["MetricGroup"]) -> _G:
         """Aggregate many groups (e.g. per-channel -> device totals)."""
         out = cls()
         for g in groups:
@@ -121,7 +133,7 @@ class MetricGroup:
         return out
 
     @classmethod
-    def from_snapshot(cls, data: Mapping[str, Any]) -> "MetricGroup":
+    def from_snapshot(cls: type[_G], data: Mapping[str, Any]) -> _G:
         """Rebuild a group from :meth:`snapshot` output.
 
         Derived keys are ignored (recomputed); unknown keys raise, so a

@@ -18,7 +18,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     if name in ("System", "SystemResult"):
         from repro.sim import system
 

@@ -26,13 +26,17 @@ finish budgets, from which per-core IPC is computed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.config import CPUConfig
-from repro.sim.engine import Simulator
+from repro.sim.engine import AnySimulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.system import System
+    from repro.workloads.cursor import TraceCursor
+
+#: one trace record: (gap_instructions, address, is_write, pc)
+TraceOp = tuple[int, int, bool, int]
 
 #: outcomes of System.mem_access
 L2_HIT = 0
@@ -51,8 +55,8 @@ class Core:
                  "stall_blocked_ps", "_blocked_since",
                  "_width", "_cycle_ps", "_max_misses", "_rob")
 
-    def __init__(self, sim: Simulator, core_id: int, cfg: CPUConfig,
-                 trace: Iterator, system: "System"):
+    def __init__(self, sim: AnySimulator, core_id: int, cfg: CPUConfig,
+                 trace: "TraceCursor", system: "System"):
         self.sim = sim
         self.core_id = core_id
         self.cfg = cfg
@@ -64,8 +68,8 @@ class Core:
         self._max_misses = cfg.max_outstanding_misses
         self._rob = cfg.rob_entries
         self.icount = 0
-        self._next_op: Optional[tuple] = None
-        self._retry_op: Optional[tuple] = None
+        self._next_op: Optional[TraceOp] = None
+        self._retry_op: Optional[TraceOp] = None
         self.outstanding: dict[int, int] = {}  # load token -> inst index
         self._token = 0
         self.blocked = False
@@ -101,18 +105,21 @@ class Core:
 
     def _schedule_next(self, base_time: int) -> None:
         sim = self.sim
-        gap_ps = max(1, round((self._next_op[0] + 1) / self._width
+        nxt = self._next_op
+        assert nxt is not None   # always primed by start()/_step()
+        gap_ps = max(1, round((nxt[0] + 1) / self._width
                               * self._cycle_ps))
         sim.at(max(base_time + gap_ps, sim.now), self._step, None)
 
     # -- the main loop -------------------------------------------------------------
 
-    def _step(self, _arg) -> None:
+    def _step(self, _arg: object) -> None:
         if self._retry_op is not None:
             op = self._retry_op
             self._retry_op = None
         else:
             op = self._next_op
+            assert op is not None   # start() primed the stream
             self._next_op = next(self.trace)
             self.icount += op[0] + 1
             self._check_budgets()

@@ -54,7 +54,7 @@ import heapq
 from bisect import bisect_left, insort
 from operator import attrgetter
 from sys import getrefcount
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 #: Compact only beyond this queue size (tiny queues aren't worth the pass).
 _COMPACT_MIN = 64
@@ -86,8 +86,19 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "arg", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable, arg: Any,
-                 sim: Any = None):
+    # ``fn``/``arg`` are Any, not Optional[...]: the freelist nulls them
+    # on recycle, and precise types would force a None-check on the
+    # hottest line in the engine (``ev.fn(ev.arg)``).
+    time: int
+    seq: int
+    fn: Any
+    arg: Any
+    cancelled: bool
+    _sim: Simulator | HeapSimulator | None
+
+    def __init__(self, time: int, seq: int, fn: Callable[[Any], Any],
+                 arg: Any = None,
+                 sim: Simulator | HeapSimulator | None = None):
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -185,8 +196,10 @@ class Simulator:
         self._ring_count = 0   # events sitting in ring buckets
         self._size = 0         # all events held (ring + overflow + stage)
         #: the bucket currently being dispatched, sorted by (time, seq);
-        #: always flushed back before run()/drain() return
-        self._stage: Optional[list] = None
+        #: always flushed back before run()/drain() return.  Elements are
+        #: ``Event | None`` (dispatched slots are nulled for the refcount
+        #: gate); typed Any so the hot loop needs no narrowing.
+        self._stage: Optional[list[Any]] = None
         self._stage_pos = 0
         self._stage_vb = -1
         self._pool: list[Event] = []   # Event freelist (never snapshotted)
@@ -205,7 +218,7 @@ class Simulator:
         """
         self._stop_requested = True
 
-    def at(self, time: int, fn: Callable, arg: Any = None) -> Event:
+    def at(self, time: int, fn: Callable[[Any], Any], arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
@@ -244,7 +257,7 @@ class Simulator:
             heapq.heappush(self._overflow, ev)
         return ev
 
-    def after(self, delay: int, fn: Callable, arg: Any = None) -> Event:
+    def after(self, delay: int, fn: Callable[[Any], Any], arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` ``delay`` picoseconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
@@ -293,7 +306,7 @@ class Simulator:
 
     # -- state digest ------------------------------------------------------------
 
-    def signature(self) -> dict:
+    def signature(self) -> dict[str, Any]:
         """Comparable digest of the engine state (snapshot test hook).
 
         Two simulators with equal signatures hold the same clock, the
@@ -306,7 +319,7 @@ class Simulator:
         so signatures of *independent* simulations (original vs.
         restored-from-snapshot) can be equated.
         """
-        events = []
+        events: list[Event] = []
         for slot in self._buckets:
             events.extend(slot)
         events.extend(self._overflow)
@@ -333,7 +346,7 @@ class Simulator:
     # Both the deepcopy path (in-process restore) and the pickle path
     # (on-disk snapshots) drop it; the copy starts with an empty pool.
 
-    def __deepcopy__(self, memo: dict) -> "Simulator":
+    def __deepcopy__(self, memo: dict[int, Any]) -> "Simulator":
         cls = type(self)
         new = cls.__new__(cls)
         memo[id(self)] = new
@@ -344,11 +357,11 @@ class Simulator:
                 setattr(new, name, copy.deepcopy(getattr(self, name), memo))
         return new
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         return {name: getattr(self, name)
                 for name in Simulator.__slots__ if name != "_pool"}
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         for name, value in state.items():
             setattr(self, name, value)
         self._pool = []
@@ -363,7 +376,7 @@ class Simulator:
         undispatched work), which can lap the ring; never on the hot
         path.
         """
-        m = None
+        m: int | None = None
         for slot in self._buckets:
             for e in slot:
                 if m is None or e.time < m:
@@ -371,7 +384,7 @@ class Simulator:
         self._cursor_vb = (m >> self._shift) if m is not None \
             else (self.now >> self._shift)
 
-    def _acquire_stage(self) -> Optional[list]:
+    def _acquire_stage(self) -> Optional[list[Any]]:
         """Detach the next non-empty bucket as a sorted dispatch stage.
 
         Returns the stage list (also stored in ``_stage``) or None when
@@ -775,7 +788,7 @@ class HeapSimulator:
         """Request an exact stop: the loop exits after the current callback."""
         self._stop_requested = True
 
-    def at(self, time: int, fn: Callable, arg: Any = None) -> Event:
+    def at(self, time: int, fn: Callable[[Any], Any], arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` at absolute time ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
@@ -785,7 +798,7 @@ class HeapSimulator:
         self._live += 1
         return ev
 
-    def after(self, delay: int, fn: Callable, arg: Any = None) -> Event:
+    def after(self, delay: int, fn: Callable[[Any], Any], arg: Any = None) -> Event:
         """Schedule ``fn(arg)`` ``delay`` picoseconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
@@ -813,7 +826,7 @@ class HeapSimulator:
         """Total callbacks executed so far (for progress reporting)."""
         return self._events_run
 
-    def signature(self) -> dict:
+    def signature(self) -> dict[str, Any]:
         """Comparable digest of the engine state (snapshot test hook).
 
         Events are enumerated in canonical ``(time, seq)`` order — the
@@ -891,9 +904,15 @@ class HeapSimulator:
         return self.now
 
 
+#: Either engine.  Both implement the identical scheduling contract
+#: (at/after/run/drain/stop/pending/signature); components hold this
+#: union rather than caring which engine the system was built with.
+AnySimulator = Union[Simulator, HeapSimulator]
+
+
 def make_simulator(kind: Optional[str] = None, *,
                    bucket_ps: int = DEFAULT_BUCKET_PS,
-                   nbuckets: int = DEFAULT_NBUCKETS):
+                   nbuckets: int = DEFAULT_NBUCKETS) -> AnySimulator:
     """Build an event engine: ``"calendar"`` (default) or ``"heap"``.
 
     ``kind=None`` selects :data:`DEFAULT_ENGINE`.  The calendar sizing

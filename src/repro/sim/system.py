@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Any, ClassVar, Iterator, Mapping, Optional, Sequence
+from typing import Any, ClassVar, Mapping, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core import make_controller
 from repro.core.access import CacheRequest, RequestType
 from repro.mem.llc_writeback import DRAMAwareWritebackIndex
-from repro.mem.mshr import MSHRFile
+from repro.mem.mshr import MSHREntry, MSHRFile
 from repro.mem.sram import SRAMCache
 from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
 from repro.sim.engine import make_simulator
@@ -94,9 +94,9 @@ class SystemResult:
     mainmem_reads: int
     mainmem_writes: int
     lee_eager_writebacks: int = 0
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
     #: full registry snapshot: {component: {counter/derived: value}}
-    metrics: dict = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
     schema_version: int = RESULT_SCHEMA_VERSION
 
     def to_cache_dict(self) -> dict[str, Any]:
@@ -188,7 +188,7 @@ class System:
             self.cores.append(Core(self.sim, i, cfg.cpu, trace, self))
 
         self._mshr_waiters: list[Core] = []
-        self._pending_entry = None
+        self._pending_entry: Optional[MSHREntry] = None
         self._warmed = 0
         self._finished = 0
 
@@ -247,7 +247,9 @@ class System:
 
     def register_load(self, core: Core, token: int) -> None:
         """Attach the issuing load to the MSHR entry just touched."""
-        self._pending_entry.waiters.append((core, token))
+        entry = self._pending_entry
+        assert entry is not None   # mem_access just allocated it
+        entry.waiters.append((core, token))
 
     def wait_for_mshr(self, core: Core) -> None:
         self._mshr_waiters.append(core)
@@ -313,7 +315,7 @@ class System:
             # evictions, and final contents — is exactly the sequential
             # per-benchmark order, so a prefill_blocks workload in the
             # middle just flushes the pending batch first.
-            pending: list = []
+            pending: list[tuple[int, int, float, int]] = []
             for i, prof in enumerate(self.benchmarks):
                 prefill_blocks = getattr(prof, "prefill_blocks", None)
                 if prefill_blocks is not None:
