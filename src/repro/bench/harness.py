@@ -34,16 +34,19 @@ from repro.experiments.common import (
 from repro.bench.decision_loop import run_decision_loop
 from repro.bench.engine_loop import run_engine_section
 from repro.bench.substrate_loop import run_substrate_loop
+from repro.bench.topology_loop import run_topology_section
 
 #: Version of the BENCH_*.json payload; bump on any field/semantics change.
 #: v2: added the ``substrate`` section (burst vs command issue-loop
 #: throughput) and the ``sections`` field recording what ran.
 #: v3: added the ``engine`` section (heap vs calendar event-engine micro
 #: ops + equality-checked in-process end-to-end comparison).
-BENCH_SCHEMA_VERSION = 3
+#: v4: added the ``topology`` section (flat vs banked mainmem fetch-loop
+#: + end-to-end overhead, banked channel-scaling latency curve).
+BENCH_SCHEMA_VERSION = 4
 
 #: selectable benchmark sections (``repro-perf [section]``)
-SECTIONS = ("decision", "substrate", "engine", "e2e")
+SECTIONS = ("decision", "substrate", "engine", "topology", "e2e")
 
 
 def run_end_to_end(quick: bool = False, jobs: int = 1) -> dict:
@@ -168,6 +171,9 @@ def run_perf(quick: bool = False, label: str = "dev",
             payload["substrate"] = run_substrate_loop(quick=quick, seed=seed)
         if "engine" in sections:
             payload["engine"] = run_engine_section(quick=quick, seed=seed)
+        if "topology" in sections:
+            payload["topology"] = run_topology_section(quick=quick,
+                                                       jobs=jobs, seed=seed)
         if "e2e" in sections:
             payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
             payload["warm_reuse"] = run_warm_reuse(quick=quick, jobs=jobs)
@@ -239,6 +245,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  engine e2e: heap {ee['heap_wall_s']:.1f}s -> calendar "
               f"{ee['calendar_wall_s']:.1f}s  x{ee['speedup']:.2f}  "
               f"(identical={ee['identical_results']})")
+    if "topology" in data:
+        topo = data["topology"]
+        fl = topo["fetch_loop"]
+        print(f"  mainmem fetch loop: flat {fl['flat_per_s']:>10.0f}/s   "
+              f"banked {fl['banked_per_s']:>10.0f}/s   "
+              f"overhead x{fl['banked_overhead_x']:.2f}")
+        for row in topo["channel_scaling"]:
+            print(f"  banked ch={row['channels']}  "
+                  f"mean read {row['mean_read_latency_ps']:>9.0f} ps  "
+                  f"bus wait {row['mean_bus_wait_ps']:>9.0f} ps  "
+                  f"({row['per_s']:.0f}/s)")
+        te = topo["e2e"]
+        print(f"  topology e2e: flat {te['flat_wall_s']:.1f}s -> banked "
+              f"{te['banked_wall_s']:.1f}s  x{te['banked_overhead_x']:.2f}  "
+              f"({te['banked_rank_switches']} rank switches)")
     if "end_to_end" in data:
         e = data["end_to_end"]
         print(f"  end-to-end: {e['points']} points in {e['wall_s']:.1f}s "

@@ -1,0 +1,124 @@
+"""Memory-topology benchmarks: flat vs banked main memory, channel scaling.
+
+Two questions, one section:
+
+* **What does the banked off-chip model cost?**  The flat model is a
+  two-line queue update; the banked model decodes the address and runs a
+  full substrate ``issue()``.  A fetch-loop micro times both on an
+  identical address stream, and a small end-to-end grid through the real
+  experiment machinery measures the whole-stack overhead of switching
+  ``mainmem.model`` — the number that justifies flat staying the
+  default.
+* **Does the topology behave like a topology?**  A channel-scaling curve
+  runs the same stream through banked memories with 1/2/4 channels and
+  reports the *simulated* mean read latency: more channels must relieve
+  bus/bank contention monotonically (modulo row-locality noise), which
+  pins the model's queuing behaviour, not just its wall cost.
+
+Decision times are frozen at ``now=0`` in the micro loops (no event-loop
+interleaving), which is the worst-case contention shape: every access
+queues behind every earlier one on its channel.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import replace
+
+from repro.config import MainMemoryConfig
+from repro.experiments.common import DESIGNS, ResultStore, RunSpec, SimParams, run_grid
+from repro.mem.mainmem import make_mainmem
+from repro.sim.engine import Simulator
+
+
+def _sink(addr: object) -> None:
+    """Module-level completion callback: no closure enters the event heap."""
+
+
+def _make_addrs(n: int, seed: int) -> list[int]:
+    """Block addresses over a 256 MiB footprint (past any row wrap)."""
+    rng = random.Random(seed)
+    return [rng.randrange(1 << 28) & ~63 for _ in range(n)]
+
+
+def _time_fetch_loop(cfg: MainMemoryConfig, addrs: list[int]
+                     ) -> tuple[float, object]:
+    mm = make_mainmem(Simulator(), cfg)
+    fetch = mm.fetch
+    t0 = time.perf_counter()
+    for addr in addrs:
+        fetch(addr, _sink)
+    return time.perf_counter() - t0, mm
+
+
+def run_topology_section(quick: bool = False, jobs: int = 1,
+                         seed: int = 0) -> dict:
+    """Benchmark the mainmem models; JSON-ready summary."""
+    n = 20_000 if quick else 200_000
+    addrs = _make_addrs(n, seed + 137)
+
+    flat_s, _ = _time_fetch_loop(MainMemoryConfig(), addrs)
+    banked_s, banked = _time_fetch_loop(MainMemoryConfig(model="banked"),
+                                        addrs)
+    fetch_loop = {
+        "fetches": n,
+        "flat_s": round(flat_s, 6),
+        "banked_s": round(banked_s, 6),
+        "flat_per_s": round(n / flat_s, 1) if flat_s else 0.0,
+        "banked_per_s": round(n / banked_s, 1) if banked_s else 0.0,
+        "banked_overhead_x": round(banked_s / flat_s, 3) if flat_s else 0.0,
+        "banked_rank_switches": banked.total_stats().rank_switches,
+    }
+
+    scaling = []
+    for channels in (1, 2, 4):
+        cfg = MainMemoryConfig(model="banked")
+        cfg = replace(cfg, org=replace(cfg.org, channels=channels))
+        elapsed, mm = _time_fetch_loop(cfg, addrs)
+        stats = mm.stats
+        scaling.append({
+            "channels": channels,
+            "per_s": round(n / elapsed, 1) if elapsed else 0.0,
+            "mean_read_latency_ps": round(stats.mean_read_latency_ps, 1),
+            "mean_bus_wait_ps": round(stats.read_bus_wait_ps / n, 1),
+            "rank_switches": mm.total_stats().rank_switches,
+        })
+
+    # End-to-end: the same small grid, flat vs banked, through run_grid.
+    specs = [RunSpec(d, "sa", mix_id=1) for d in DESIGNS]
+    banked_specs = [RunSpec(d, "sa", mix_id=1,
+                            config=(("mainmem.model", "banked"),))
+                    for d in DESIGNS]
+    params = SimParams.quick()
+
+    def timed_grid(grid_specs: list[RunSpec]) -> tuple[float, dict]:
+        store = ResultStore(enabled=False)
+        t0 = time.perf_counter()
+        results = run_grid(grid_specs, params, jobs=jobs, use_cache=False,
+                           store=store)
+        return time.perf_counter() - t0, results
+
+    flat_wall, _flat_res = timed_grid(specs)
+    banked_wall, banked_res = timed_grid(banked_specs)
+    rank_switches = sum(r.metrics["mainmem_total"]["rank_switches"]
+                        for r in banked_res.values())
+    e2e = {
+        "points": len(specs),
+        "designs": list(DESIGNS),
+        "params": "quick",
+        "jobs": jobs,
+        "flat_wall_s": round(flat_wall, 3),
+        "banked_wall_s": round(banked_wall, 3),
+        "banked_overhead_x": (round(banked_wall / flat_wall, 3)
+                              if flat_wall else 0.0),
+        "banked_rank_switches": rank_switches,
+    }
+
+    latencies = [row["mean_read_latency_ps"] for row in scaling]
+    return {
+        "fetch_loop": fetch_loop,
+        "channel_scaling": scaling,
+        "scaling_monotonic": latencies == sorted(latencies, reverse=True),
+        "e2e": e2e,
+    }

@@ -40,12 +40,19 @@ class DRAMTimings:
     does.  A DDR3-1600 set is provided for the off-chip comparison point and
     for tests.
 
-    The last four parameters (tRRD, tFAW, tREFI, tRFC) are **rank-level
-    constraints** consumed only by the command-level substrate model
-    (``fidelity="command"``; see :class:`SubstrateConfig` and
-    :mod:`repro.dram.command`).  The burst-granular default model ignores
-    them, so they default to 0 ("unconstrained") and a value of 0 keeps
-    the corresponding mechanism off even at command fidelity.
+    tRRD, tFAW, tREFI and tRFC are **rank-level constraints** consumed
+    only by the command-level substrate model (``fidelity="command"``;
+    see :class:`SubstrateConfig` and :mod:`repro.dram.command`).  The
+    burst-granular default model ignores them, so they default to 0
+    ("unconstrained") and a value of 0 keeps the corresponding mechanism
+    off even at command fidelity.
+
+    ``tCS`` is the rank-to-rank data-bus turnaround (gem5's
+    different-rank bus delay): a burst targeting a different rank than
+    the previous burst on the channel may not start earlier than ``tCS``
+    after the bus frees.  It applies at *both* fidelities (it is a bus
+    constraint, not a command constraint) and defaults to 0, which is
+    exact for the single-rank stacked part.
     """
 
     tRCD: int    # ACT -> CAS (row to column delay)
@@ -61,6 +68,7 @@ class DRAMTimings:
     tFAW: int = 0    # window admitting at most four ACTs per rank (0 = off)
     tREFI: int = 0   # average periodic refresh interval (0 = no refresh)
     tRFC: int = 0    # refresh cycle time: rank blackout per refresh
+    tCS: int = 0     # rank-to-rank bus turnaround (0 = free rank switch)
 
     def __post_init__(self) -> None:
         # A typo'd timing (0, negative, or tRFC swallowing the whole
@@ -72,7 +80,7 @@ class DRAMTimings:
                 raise ValueError(
                     f"DRAMTimings.{name} must be a positive picosecond "
                     f"count, got {getattr(self, name)!r}")
-        for name in ("tRRD", "tFAW", "tREFI", "tRFC"):
+        for name in ("tRRD", "tFAW", "tREFI", "tRFC", "tCS"):
             if getattr(self, name) < 0:
                 raise ValueError(
                     f"DRAMTimings.{name} must be >= 0 (0 disables it), "
@@ -107,6 +115,7 @@ class DRAMTimings:
             tWTR=ns(7.5), tRTP=ns(7.5), tRTW=ns(2.5),
             tWR=ns(15), tBURST=ns(5),
             tRRD=ns(6), tFAW=ns(30), tREFI=ns(7800), tRFC=ns(160),
+            tCS=ns(2.5),
         )
 
     @property
@@ -171,12 +180,29 @@ class SubstrateConfig:
                 f"{self.page_timeout_ps!r}")
 
 
+#: Address-interleave policies accepted by DRAMOrganization (implemented
+#: in repro.dram.address; the name tuple lives here so bad sweep specs
+#: die at config construction, before any machinery is built).
+INTERLEAVE_POLICIES = ("robarachco", "rorabachco", "chxor")
+
+
 @dataclass(frozen=True)
 class DRAMOrganization:
-    """Geometry of the stacked DRAM (paper Table II).
+    """Geometry of one DRAM level (stacked cache or off-chip memory).
 
-    ``row_bytes`` is the row-buffer size.  The address interleaving is
-    RoBaRaChCo (row : bank : rank : channel : column, MSB to LSB).
+    ``row_bytes`` is the row-buffer size.  ``interleave`` names the
+    address bit-slicing policy (see :mod:`repro.dram.address`):
+
+    * ``"robarachco"`` — the paper's Table II layout
+      (row : bank : rank : channel : column, MSB to LSB);
+    * ``"rorabachco"`` — rank above bank
+      (row : rank : bank : channel : column);
+    * ``"chxor"`` — RoBaRaChCo with the channel index XOR-folded with
+      low row bits (permutation channel hashing).
+
+    Geometry is validated at construction — a non-power-of-two channel/
+    rank/bank count or a malformed row layout raises here, so a bad
+    sweep spec dies at expansion time, not deep inside a worker build.
     """
 
     channels: int = 4
@@ -184,6 +210,24 @@ class DRAMOrganization:
     banks_per_rank: int = 16
     row_bytes: int = 4096
     block_bytes: int = 64
+    interleave: str = "robarachco"
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks_per_channel", "banks_per_rank",
+                     "row_bytes", "block_bytes"):
+            v = getattr(self, name)
+            if v <= 0 or v & (v - 1):
+                raise ValueError(
+                    f"DRAMOrganization.{name} must be a positive power "
+                    f"of two, got {v!r}")
+        if self.row_bytes < self.block_bytes:
+            raise ValueError(
+                f"row_bytes ({self.row_bytes}) must hold at least one "
+                f"block ({self.block_bytes} bytes)")
+        if self.interleave not in INTERLEAVE_POLICIES:
+            raise ValueError(
+                f"unknown interleave policy {self.interleave!r}; "
+                f"known: {INTERLEAVE_POLICIES}")
 
     @property
     def total_banks(self) -> int:
@@ -324,18 +368,63 @@ class CPUConfig:
         return round(1000 / self.freq_ghz)
 
 
+#: Main-memory models accepted by MainMemoryConfig.
+MAINMEM_MODELS = ("flat", "banked")
+
+
+def _ddr3_mainmem_org() -> DRAMOrganization:
+    """DDR3-1600 x64 geometry from the gem5 exemplar (8x8 devices).
+
+    Two channels of two ranks x 8 banks; each rank's row buffer is
+    1 KB per device x 8 devices = 8 KB.
+    """
+    return DRAMOrganization(channels=2, ranks_per_channel=2,
+                            banks_per_rank=8, row_bytes=8192)
+
+
 @dataclass(frozen=True)
 class MainMemoryConfig:
-    """Off-chip memory: flat 50 ns access over a 2 GHz / 64-bit bus."""
+    """Off-chip memory below the DRAM cache.
+
+    Two models, selected by ``model`` (sweepable as ``mainmem.model``):
+
+    * ``"flat"`` (default, the paper's operating point) — a flat 50 ns
+      access behind a 2 GHz / 64-bit bus; contention for that single
+      bus is the only queuing effect.
+    * ``"banked"`` — a real N-channel x M-rank banked device built from
+      the same parts as the stacked cache: ``org`` + ``timings`` +
+      per-channel substrate channels via
+      :func:`repro.dram.substrate.make_channel`, with DDR3-1600
+      defaults from the gem5 exemplar (including the ``tCS``
+      rank-to-rank bus turnaround).  ``substrate`` selects the channel
+      fidelity (burst default; ``mainmem.substrate.fidelity=command``
+      adds refresh + rank throttling off-chip too).
+
+    ``org``/``timings``/``substrate`` only take effect for the banked
+    model; the flat model reads ``latency_ps`` and the bus parameters.
+    """
 
     latency_ps: int = ns(50)
     bus_ghz: float = 2.0
     bus_bits: int = 64
     block_bytes: int = 64
+    model: str = "flat"
+    org: DRAMOrganization = field(default_factory=_ddr3_mainmem_org)
+    timings: DRAMTimings = field(default_factory=DRAMTimings.ddr3_1600)
+    substrate: SubstrateConfig = field(default_factory=SubstrateConfig)
+
+    def __post_init__(self) -> None:
+        if self.model not in MAINMEM_MODELS:
+            raise ValueError(
+                f"unknown main-memory model {self.model!r}; "
+                f"known: {MAINMEM_MODELS}")
+        if self.latency_ps <= 0:
+            raise ValueError(
+                f"latency_ps must be positive, got {self.latency_ps!r}")
 
     @property
     def bus_occupancy_ps(self) -> int:
-        """Time one 64 B block occupies the off-chip bus."""
+        """Time one 64 B block occupies the off-chip bus (flat model)."""
         transfers = self.block_bytes * 8 // self.bus_bits
         return round(transfers * 1000 / self.bus_ghz)
 

@@ -39,7 +39,7 @@ from repro.core.bliss import BLISSScheduler
 from repro.core.frfcfs import FRFCFSScheduler
 from repro.core.queues import AccessQueue
 from repro.dram.device import DRAMDevice
-from repro.mem.mainmem import MainMemory
+from repro.mem.mainmem import AnyMainMemory, make_mainmem
 from repro.metrics.registry import MetricGroup, MetricRegistry, derived
 from repro.sim.engine import Simulator
 
@@ -91,7 +91,7 @@ class BaseController:
     def __init__(self, sim: Simulator, cfg: SystemConfig,
                  organization: str = "sa", xor_remap: bool = False,
                  use_mapi: bool = True, scheduler: str = "bliss",
-                 mainmem: Optional[MainMemory] = None):
+                 mainmem: Optional[AnyMainMemory] = None):
         if not cfg.queues_explicit:
             # Stock config: substitute the per-design Table II queue
             # sizes.  Explicitly overridden queues (sweep axes) win.
@@ -104,7 +104,8 @@ class BaseController:
         self.array = DRAMCacheArray(cfg.dram_cache, organization)
         self.translator = Translator(self.array, self.device.mapper)
         self.mapi = MAPIPredictor(cfg.num_cores) if use_mapi else None
-        self.mainmem = mainmem if mainmem is not None else MainMemory(sim, cfg.mainmem)
+        self.mainmem = (mainmem if mainmem is not None
+                        else make_mainmem(sim, cfg.mainmem))
 
         nch = cfg.org.channels
         try:

@@ -1,4 +1,4 @@
-"""Address interleaving for the stacked DRAM array.
+"""Address interleaving for a DRAM level (stacked cache or off-chip).
 
 The paper (Table II) uses **RoBaRaChCo** interleaving: reading the physical
 array address from most-significant to least-significant bits gives
@@ -10,20 +10,37 @@ rows rotate across channels first, then ranks, then banks.  This spreads a
 sequential stream across channels at row granularity while keeping row-buffer
 locality within a channel.
 
+The bit-slicing is pluggable: an :class:`InterleavePolicy` names the
+LSB-to-MSB order of the sub-row fields (channel / rank / bank), with the
+column always lowest and the row always highest — so ``row_of`` and the
+workload generators' row arithmetic are policy-independent.  Shipped
+policies (``DRAMOrganization.interleave``, sweepable as e.g.
+``org.interleave=robarachco,chxor``):
+
+* ``robarachco`` — the default above;
+* ``rorabachco`` — rank above bank (row : rank : bank : channel : column),
+  so consecutive rows of one channel rotate banks before ranks: bank
+  parallelism is exposed first, rank turnarounds amortise over longer
+  streaks;
+* ``chxor`` — RoBaRaChCo with the channel index XOR-folded with the low
+  row bits (permutation channel hashing, self-inverse): strided streams
+  that would camp on one channel scatter across all of them.
+
 The optional **XOR permutation remapping** implements Zhang, Zhu & Zhang
 (MICRO'00): the bank index is XORed with the low bits of the row index, so
 two addresses that fall in the *same bank but different rows* (a row-buffer
 conflict) are scattered to *different banks*.  The paper adds this scheme to
 all controller designs in its Fig. 9 experiment because it mitigates
 read-read conflicts (RRC) the same way it mitigates read-write conflicts in
-conventional DRAM.
+conventional DRAM.  It is orthogonal to the interleave policy (it permutes
+within the bank field, a policy permutes the fields themselves).
 """
 
 from __future__ import annotations
 
 from typing import NamedTuple
 
-from repro.config import DRAMOrganization
+from repro.config import INTERLEAVE_POLICIES, DRAMOrganization
 
 
 class DecodedAddress(NamedTuple):
@@ -47,32 +64,66 @@ class DecodedAddress(NamedTuple):
         raise AttributeError("use AddressMapper.global_bank(decoded)")
 
 
+class InterleavePolicy(NamedTuple):
+    """One address bit-slicing: which field owns which bits.
+
+    ``field_order`` lists the sub-row fields from LSB to MSB (some
+    permutation of ``"ch"``/``"ra"``/``"ba"``); the column field always
+    sits below them and the row field always on top.  ``channel_xor``
+    additionally XOR-folds the low row bits into the channel index
+    (self-inverse, so encode/decode stay exact mirrors).
+    """
+
+    name: str
+    field_order: tuple[str, str, str]
+    channel_xor: bool = False
+
+
+#: Shipped policies; the *names* are declared in
+#: repro.config.INTERLEAVE_POLICIES so config validation never depends
+#: on this module (a tuple, not a dict: module-level mutable state is
+#: barred from the simulation packages — dca-lint R2).
+INTERLEAVES: tuple[InterleavePolicy, ...] = (
+    InterleavePolicy("robarachco", ("ch", "ra", "ba")),
+    InterleavePolicy("rorabachco", ("ch", "ba", "ra")),
+    InterleavePolicy("chxor", ("ch", "ra", "ba"), channel_xor=True),
+)
+
+
+def interleave_policy(name: str) -> InterleavePolicy:
+    """Look up a policy by its config name (case-insensitive)."""
+    wanted = name.lower()
+    for policy in INTERLEAVES:
+        if policy.name == wanted:
+            return policy
+    raise ValueError(
+        f"unknown interleave policy {name!r}; "
+        f"known: {tuple(p.name for p in INTERLEAVES)}")
+
+
 class AddressMapper:
-    """Maps byte addresses in the DRAM array to (channel, rank, bank, row, col).
+    """Maps byte addresses in a DRAM array to (channel, rank, bank, row, col).
 
     Parameters
     ----------
     org:
-        DRAM geometry (channels/ranks/banks/row size/block size).
+        DRAM geometry (channels/ranks/banks/row size/block size) plus the
+        interleave policy name; geometry validity is enforced by
+        :class:`~repro.config.DRAMOrganization` itself at construction.
     xor_remap:
         Enable the permutation-based bank remapping (Zhang et al.).
     """
 
-    __slots__ = ("org", "xor_remap",
+    __slots__ = ("org", "xor_remap", "policy",
                  "_block_bits", "_col_bits", "_ch_bits", "_ra_bits",
                  "_ba_bits", "_col_mask", "_ch_mask", "_ra_mask", "_ba_mask",
                  "_col_shift", "_ch_shift", "_ra_shift", "_ba_shift",
-                 "_row_shift")
+                 "_row_shift", "_ch_xor")
 
     def __init__(self, org: DRAMOrganization, xor_remap: bool = False):
-        if org.channels & (org.channels - 1):
-            raise ValueError("channel count must be a power of two")
-        if org.banks_per_rank & (org.banks_per_rank - 1):
-            raise ValueError("bank count must be a power of two")
-        if org.ranks_per_channel & (org.ranks_per_channel - 1):
-            raise ValueError("rank count must be a power of two")
         self.org = org
         self.xor_remap = xor_remap
+        self.policy = interleave_policy(org.interleave)
 
         self._block_bits = (org.block_bytes - 1).bit_length()
         self._col_bits = (org.blocks_per_row - 1).bit_length()
@@ -85,12 +136,22 @@ class AddressMapper:
         self._ra_mask = org.ranks_per_channel - 1
         self._ba_mask = org.banks_per_rank - 1
 
-        # Bit offsets from LSB, RoBaRaChCo order (Co lowest, Ro highest).
+        # Bit offsets from LSB: column lowest, then the policy's field
+        # order, row on top.  Decode/encode stay straight-line integer
+        # arithmetic — the policy only chooses the precomputed shifts.
         self._col_shift = self._block_bits
-        self._ch_shift = self._col_shift + self._col_bits
-        self._ra_shift = self._ch_shift + self._ch_bits
-        self._ba_shift = self._ra_shift + self._ra_bits
-        self._row_shift = self._ba_shift + self._ba_bits
+        shift = self._col_shift + self._col_bits
+        bits = {"ch": self._ch_bits, "ra": self._ra_bits,
+                "ba": self._ba_bits}
+        shifts = {}
+        for fld in self.policy.field_order:
+            shifts[fld] = shift
+            shift += bits[fld]
+        self._ch_shift = shifts["ch"]
+        self._ra_shift = shifts["ra"]
+        self._ba_shift = shifts["ba"]
+        self._row_shift = shift
+        self._ch_xor = self.policy.channel_xor
 
     def decode(self, addr: int) -> DecodedAddress:
         """Decode a byte address into DRAM coordinates."""
@@ -101,6 +162,8 @@ class AddressMapper:
         rank = (addr >> self._ra_shift) & self._ra_mask
         bank = (addr >> self._ba_shift) & self._ba_mask
         row = addr >> self._row_shift
+        if self._ch_xor:
+            channel ^= row & self._ch_mask
         if self.xor_remap:
             bank ^= row & self._ba_mask
         return DecodedAddress(channel, rank, bank, row, col)
@@ -110,10 +173,13 @@ class AddressMapper:
         bank = d.bank
         if self.xor_remap:
             bank ^= d.row & self._ba_mask
+        channel = d.channel
+        if self._ch_xor:
+            channel ^= d.row & self._ch_mask
         return ((d.row << self._row_shift)
                 | (bank << self._ba_shift)
                 | (d.rank << self._ra_shift)
-                | (d.channel << self._ch_shift)
+                | (channel << self._ch_shift)
                 | (d.col << self._col_shift))
 
     def global_bank(self, d: DecodedAddress) -> int:
@@ -129,3 +195,8 @@ class AddressMapper:
     def row_bits_start(self) -> int:
         """LSB position of the row field (for workload generators)."""
         return self._row_shift
+
+
+# The two name surfaces must agree: config validates spellings, this
+# module implements them.  Checked at import so they cannot drift.
+assert tuple(p.name for p in INTERLEAVES) == INTERLEAVE_POLICIES

@@ -44,8 +44,8 @@ class Channel:
     """One channel: ``ranks_per_channel * banks_per_rank`` banks + data bus."""
 
     __slots__ = ("timings", "org", "banks", "bus_free", "bus_dir", "stats",
-                 "_last_read_end", "_last_write_end", "_gen", "_est_memo",
-                 "_est_gen")
+                 "_last_read_end", "_last_write_end", "_last_rank", "_gen",
+                 "_est_memo", "_est_gen")
 
     #: substrate fidelity this model implements (see SubstrateConfig)
     fidelity: ClassVar[str] = "burst"
@@ -60,6 +60,7 @@ class Channel:
         self.bus_dir: int = _DIR_NONE
         self._last_read_end: int = 0
         self._last_write_end: int = 0
+        self._last_rank: int = -1       # rank of the last burst (-1: none)
         # Timing-state generation: bumped by every committed access and
         # every state restore, i.e. whenever a previously computed
         # estimate could go stale.  estimate_burst_start memoizes on it,
@@ -110,10 +111,19 @@ class Channel:
         """Fidelity-specific estimate (overridden by the command model)."""
         b = self.banks[self.bank_index(rank, bank)]
         cas = b.earliest_cas(row, now)
-        return self._bus_constrained_start(cas + self.timings.tCAS, is_write)
+        return self._bus_constrained_start(cas + self.timings.tCAS, is_write,
+                                           rank)
 
-    def _bus_constrained_start(self, data_ready: int, is_write: bool) -> int:
-        """Fold bus-free time and turnaround penalties into a burst start."""
+    def _bus_constrained_start(self, data_ready: int, is_write: bool,
+                               rank: int = -1) -> int:
+        """Fold bus-free time and turnaround penalties into a burst start.
+
+        ``rank`` enables the rank-to-rank bus turnaround: when ``tCS``
+        is configured and the burst targets a different rank than the
+        previous burst on this channel, the bus needs a ``tCS`` gap
+        (gem5's different-rank bus delay).  Pure — the estimate paths
+        call this too, so it only *reads* ``_last_rank``.
+        """
         t = self.timings
         start = max(data_ready, self.bus_free)
         if is_write:
@@ -122,6 +132,9 @@ class Channel:
         else:
             if self.bus_dir == _DIR_WRITE:
                 start = max(start, self._last_write_end + t.tWTR)
+        if (t.tCS and rank >= 0 and self._last_rank >= 0
+                and rank != self._last_rank):
+            start = max(start, self.bus_free + t.tCS)
         return start
 
     # -- commit ---------------------------------------------------------------
@@ -136,24 +149,30 @@ class Channel:
         """
         b = self.banks[self.bank_index(rank, bank)]
         state = b.row_state(row)
-        start, end = self._place_and_commit(b, row, b.earliest_cas(row, now),
+        start, end = self._place_and_commit(b, rank, row,
+                                            b.earliest_cas(row, now),
                                             is_write)
         self._account_issue(state, end, is_write)
         return start, end
 
-    def _place_and_commit(self, b: Bank, row: int, cas: int,
+    def _place_and_commit(self, b: Bank, rank: int, row: int, cas: int,
                           is_write: bool) -> tuple[int, int]:
         """Place the burst for an earliest-CAS plan and commit the bank.
 
         The one burst-placement rule both fidelities share: bus/turnaround
-        constraints fold into the start, and the effective CAS is
-        back-dated so bank bookkeeping (tRTP/tWR windows) lines up with
-        the actual burst position on the bus.
+        constraints (direction *and* rank-to-rank) fold into the start,
+        and the effective CAS is back-dated so bank bookkeeping
+        (tRTP/tWR windows) lines up with the actual burst position on
+        the bus.  Rank bookkeeping lives here — the only commit point —
+        so the estimate paths stay pure.
         """
         t = self.timings
-        start = self._bus_constrained_start(cas + t.tCAS, is_write)
+        start = self._bus_constrained_start(cas + t.tCAS, is_write, rank)
         end = start + t.tBURST
         b.commit(row, start - t.tCAS, is_write, end)
+        if self._last_rank >= 0 and rank != self._last_rank:
+            self.stats.rank_switches += 1
+        self._last_rank = rank
         return start, end
 
     def _account_issue(self, state: int, end: int, is_write: bool) -> None:
@@ -209,7 +228,8 @@ class Channel:
         """
         return {
             "bus": (self.bus_free, self.bus_dir,
-                    self._last_read_end, self._last_write_end),
+                    self._last_read_end, self._last_write_end,
+                    self._last_rank),
             "banks": [b.capture() for b in self.banks],
         }
 
@@ -224,7 +244,8 @@ class Channel:
                 f"bank count mismatch: captured {len(state['banks'])}, "
                 f"channel has {len(self.banks)}")
         (self.bus_free, self.bus_dir,
-         self._last_read_end, self._last_write_end) = state["bus"]
+         self._last_read_end, self._last_write_end,
+         self._last_rank) = state["bus"]
         for b, vals in zip(self.banks, state["banks"]):
             b.restore(vals)
         self._gen += 1

@@ -45,7 +45,7 @@ from typing import Any, ClassVar
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
 from repro.dram.bank import ROW_CLOSED, ROW_HIT, Bank, BankState
 from repro.dram.channel import Channel
-from repro.dram.stats import CommandChannelStats
+from repro.dram.stats import CommandChannelStats, RankStats
 
 #: ACTs admitted per rank inside one tFAW window (JEDEC four-activate).
 FAW_DEPTH = 4
@@ -54,9 +54,9 @@ FAW_DEPTH = 4
 class CommandChannel(Channel):
     """Channel with command-level rank constraints, refresh and page policy."""
 
-    __slots__ = ("substrate", "_page_policy", "_page_timeout", "_refresh_on",
-                 "_act_history", "_refresh_due", "_blackout_end",
-                 "_bank_last_end")
+    __slots__ = ("substrate", "rank_groups", "_page_policy", "_page_timeout",
+                 "_refresh_on", "_act_history", "_refresh_due",
+                 "_blackout_end", "_bank_last_end")
 
     fidelity: ClassVar[str] = "command"
 
@@ -79,6 +79,11 @@ class CommandChannel(Channel):
         self._page_timeout = sub.page_timeout_ps
         self._refresh_on = bool(sub.refresh) and timings.tREFI > 0
         nranks = org.ranks_per_channel
+        #: per-rank counter groups (activation pressure, refresh debt,
+        #: throttling attribution); the owning device registers them in
+        #: its metrics tree when the rank dimension is real (nranks > 1)
+        self.rank_groups: list[RankStats] = [RankStats()
+                                             for _ in range(nranks)]
         #: last FAW_DEPTH effective ACT times per rank (oldest first)
         self._act_history: list[deque[int]] = [deque(maxlen=FAW_DEPTH)
                                           for _ in range(nranks)]
@@ -110,6 +115,7 @@ class CommandChannel(Channel):
                 banks = self.banks[base:base + self.org.banks_per_rank]
                 blackout = self._blackout_end[rank]
                 s = self.stats
+                rs = self.rank_groups[rank]
                 while due <= now:
                     start = max(due, blackout)
                     # All banks must be precharged: a rank still row-active
@@ -128,6 +134,7 @@ class CommandChannel(Channel):
                         k = (now - due) // t.tREFI + 1
                         if account:
                             s.refreshes_issued += k
+                            rs.refreshes_issued += k
                         due += k * t.tREFI
                         blackout = due - t.tREFI + t.tRFC
                         for b in banks:
@@ -144,6 +151,8 @@ class CommandChannel(Channel):
                         # previous refresh's blackout chaining past due.
                         s.refreshes_postponed += 1
                         s.refreshes_issued += 1
+                        rs.refreshes_postponed += 1
+                        rs.refreshes_issued += 1
                     blackout = start + t.tRFC
                     for b in banks:
                         b.open_row = None
@@ -243,7 +252,8 @@ class CommandChannel(Channel):
         saved = self._capture_rank(rank)
         self._sync_rank(rank, idx, now, account=False)
         cas, _ = self._earliest_cas(self.banks[idx], rank, row, now)
-        start = self._bus_constrained_start(cas + self.timings.tCAS, is_write)
+        start = self._bus_constrained_start(cas + self.timings.tCAS, is_write,
+                                            rank)
         self._restore_rank(rank, saved)
         return start
 
@@ -257,19 +267,24 @@ class CommandChannel(Channel):
         state = b.row_state(row)
 
         cas, binding = self._earliest_cas(b, rank, row, now)
-        start, end = self._place_and_commit(b, row, cas, is_write)
+        start, end = self._place_and_commit(b, rank, row, cas, is_write)
 
         if state != ROW_HIT:
             # Effective ACT: back-dated like the CAS, so the recorded
             # window is consistent with the bank's tRAS bookkeeping and
             # never earlier than the constrained plan.
             self._act_history[rank].append(start - t.tCAS - t.tRCD)
+            rs = self.rank_groups[rank]
+            rs.acts += 1
             if binding == 1:
                 self.stats.rrd_stalls += 1
+                rs.rrd_stalls += 1
             elif binding == 2:
                 self.stats.faw_stalls += 1
+                rs.faw_stalls += 1
             elif binding == 3:
                 self.stats.refresh_stalls += 1
+                rs.refresh_stalls += 1
 
         if self._page_policy == "closed" and b.open_row is not None:
             # Auto-precharge: Bank.commit already advanced ready_pre /
@@ -280,6 +295,11 @@ class CommandChannel(Channel):
 
         self._account_issue(state, end, is_write)
         return start, end
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        for rs in self.rank_groups:
+            rs.reset()
 
     # -------------------------------------------------------- state capture
 

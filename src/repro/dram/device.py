@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
 from repro.dram.address import AddressMapper, DecodedAddress
-from repro.dram.stats import ChannelStats
+from repro.dram.command import CommandChannel
+from repro.dram.stats import ChannelStats, RankStats
 from repro.dram.channel import Channel
 from repro.dram.substrate import make_channel
 from repro.metrics.registry import MetricRegistry
@@ -38,6 +39,15 @@ class DRAMDevice:
         for i in range(org.channels):
             channel = make_channel(timings, org, self.substrate)
             self.metrics.register(f"ch{i}", channel.stats)
+            # The rank dimension is published only when it is real:
+            # command-fidelity channels with >1 rank get one RankStats
+            # group per rank (siblings of the channel group — ch{i} is a
+            # leaf, nothing can nest under it).  Single-rank devices
+            # keep their exact metric key set (golden pins).
+            if (isinstance(channel, CommandChannel)
+                    and org.ranks_per_channel > 1):
+                for j, rs in enumerate(channel.rank_groups):
+                    self.metrics.register(f"ch{i}_rank{j}", rs)
             self.channels.append(channel)
 
     def decode(self, addr: int) -> DecodedAddress:
@@ -56,6 +66,26 @@ class DRAMDevice:
             return ChannelStats()
         cls = type(self.channels[0].stats)
         return cls.sum([c.stats for c in self.channels])
+
+    def rank_totals(self) -> list[RankStats]:
+        """Cross-channel per-rank rollup: one summed group per rank index.
+
+        Empty unless the device publishes per-rank groups (command
+        fidelity with >1 rank), mirroring the registration rule above.
+        """
+        if self.org.ranks_per_channel <= 1:
+            return []
+        if not all(isinstance(c, CommandChannel) for c in self.channels):
+            return []
+        totals: list[RankStats] = []
+        for j in range(self.org.ranks_per_channel):
+            # ``*_rank{j}`` matches exactly the per-rank groups (channel
+            # leaves are plain ``ch{i}``), so the registry rollup is the
+            # cross-channel sum for one rank index.
+            g = self.metrics.rollup(f"*_rank{j}")
+            assert isinstance(g, RankStats)
+            totals.append(g)
+        return totals
 
     def reset_stats(self) -> None:
         self.metrics.reset()

@@ -33,6 +33,7 @@ class ChannelStats(MetricGroup):
         "write_row_closed",
         "write_row_conflicts",
         "bus_busy_ps",
+        "rank_switches",   # bursts targeting a different rank than the last
     )
 
     @derived
@@ -78,3 +79,32 @@ class CommandChannelStats(ChannelStats):
         if self.refreshes_issued == 0:
             return 0.0
         return self.refreshes_postponed / self.refreshes_issued
+
+
+class RankStats(MetricGroup):
+    """Per-rank counters of the command-level substrate model.
+
+    Command-fidelity channels with more than one rank publish one group
+    per rank (``ch{i}_rank{j}`` in the device registry) so rank-level
+    imbalance — activation pressure, refresh debt, throttling — is
+    observable per rank, not just as a channel aggregate.  Single-rank
+    channels publish none: the channel totals already *are* the rank,
+    and the default metric tree keeps its exact key set (golden pins).
+    """
+
+    COUNTERS = (
+        "acts",                  # row activations on this rank
+        "refreshes_issued",
+        "refreshes_postponed",
+        "rrd_stalls",
+        "faw_stalls",
+        "refresh_stalls",
+    )
+
+    @derived
+    def act_stall_rate(self) -> float:
+        """Fraction of ACTs delayed by a rank-level constraint."""
+        if self.acts == 0:
+            return 0.0
+        return (self.rrd_stalls + self.faw_stalls
+                + self.refresh_stalls) / self.acts

@@ -4,20 +4,25 @@
   write-allocate, LRU);
 * :mod:`repro.mem.mshr` — miss-status holding registers with same-block
   coalescing;
-* :mod:`repro.mem.mainmem` — the off-chip memory (50 ns + a 2 GHz/64-bit
-  bus, Table II);
+* :mod:`repro.mem.mainmem` — the off-chip memory (flat 50 ns + a
+  2 GHz/64-bit bus per Table II, or a banked DDR3-style organisation
+  behind the Substrate);
 * :mod:`repro.mem.llc_writeback` — Lee et al.'s DRAM-aware LLC writeback
   policy used in the paper's Fig. 19 study.
 """
 
-from repro.mem.mainmem import MainMemory, MainMemoryStats
+from repro.mem.mainmem import (AnyMainMemory, BankedMainMemory, MainMemory,
+                               MainMemoryStats, make_mainmem)
 from repro.mem.sram import SRAMCache
 from repro.mem.mshr import MSHRFile
 from repro.mem.llc_writeback import DRAMAwareWritebackIndex
 
 __all__ = [
+    "AnyMainMemory",
+    "BankedMainMemory",
     "MainMemory",
     "MainMemoryStats",
+    "make_mainmem",
     "SRAMCache",
     "MSHRFile",
     "DRAMAwareWritebackIndex",

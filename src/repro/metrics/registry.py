@@ -27,6 +27,7 @@ bit-identical JSON — the property the result cache relies on.
 
 from __future__ import annotations
 
+from fnmatch import fnmatchcase
 from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Iterator, Mapping, TypeVar, Union
 
 _G = TypeVar("_G", bound="MetricGroup")
@@ -221,6 +222,28 @@ class MetricRegistry:
                 yield from child.walk(path)
             else:
                 yield path, child
+
+    def rollup(self, pattern: str = "*") -> MetricGroup:
+        """Sum every leaf group whose dotted path glob-matches ``pattern``.
+
+        The generic cross-component aggregation: ``rollup("ch*")`` sums
+        per-channel substrate groups into device totals,
+        ``rollup("*_rank1")`` sums one rank index across channels.  All
+        matched groups must share one exact type (mirroring
+        :meth:`MetricGroup.merge`); no match raises ``KeyError`` so a
+        pattern made stale by a renamed group fails loudly instead of
+        reporting zeros.
+        """
+        groups = [g for path, g in self.walk() if fnmatchcase(path, pattern)]
+        if not groups:
+            raise KeyError(f"no metric groups match pattern {pattern!r}")
+        cls = type(groups[0])
+        for g in groups[1:]:
+            if type(g) is not cls:
+                raise ValueError(
+                    f"rollup pattern {pattern!r} matched mixed group types "
+                    f"{cls.__name__} and {type(g).__name__}")
+        return cls.sum(groups)
 
     def reset(self) -> None:
         """Zero every counter in the tree."""

@@ -30,6 +30,7 @@ from repro.config import SystemConfig
 from repro.core import make_controller
 from repro.core.access import CacheRequest, RequestType
 from repro.mem.llc_writeback import DRAMAwareWritebackIndex
+from repro.mem.mainmem import BankedMainMemory
 from repro.mem.mshr import MSHREntry, MSHRFile
 from repro.mem.sram import SRAMCache
 from repro.sim.cpu import Core, L2_HIT, MISS, MSHR_FULL
@@ -49,7 +50,14 @@ from repro.workloads.profiles import BenchmarkProfile
 #: counters (refreshes, tFAW/tRRD/refresh stalls, policy closes) in the
 #: metrics snapshot.  Burst-fidelity values are bit-identical to v4; the
 #: bump invalidates cache entries because the key space gained an input.
-RESULT_SCHEMA_VERSION = 5
+#: v6: topology-generalised memory system — mainmem.model selects a flat
+#: or banked off-chip memory (banked runs carry ``mainmem_dev`` per-channel
+#: groups and a ``mainmem_total`` rollup), MainMemoryStats gained
+#: write-latency/bus-wait counters, ChannelStats gained ``rank_switches``,
+#: and multi-rank command-fidelity runs publish per-rank groups plus a
+#: cross-channel ``rank_totals`` rollup.  Flat/default values are
+#: bit-identical to v5 up to the new (deterministic) counters.
+RESULT_SCHEMA_VERSION = 6
 
 
 class ResultSchemaError(ValueError):
@@ -200,6 +208,11 @@ class System:
         self.metrics = self.controller.metrics
         self.metrics.register("l2", self.l2.stats)
         self.metrics.register("mainmem", self.controller.mainmem.stats)
+        if isinstance(self.controller.mainmem, BankedMainMemory):
+            # The banked model's per-channel substrate groups mount as a
+            # subtree, so results expose off-chip bank/bus behaviour with
+            # the same shape as the cache's own substrate.
+            self.metrics.register("mainmem_dev", self.controller.mainmem.metrics)
         if self.controller.mapi is not None:
             self.metrics.register("mapi", self.controller.mapi.stats)
         if self.lee is not None:
@@ -507,6 +520,15 @@ class System:
         # Substrate totals: merge the per-channel groups, then derive.
         ds = self.controller.device.total_stats().snapshot()
         snap["substrate_total"] = ds
+        # Topology rollups appear only where the topology is real, so the
+        # default (flat, single-rank) metric tree keeps its exact key set.
+        mmem = self.controller.mainmem
+        if isinstance(mmem, BankedMainMemory):
+            snap["mainmem_total"] = mmem.total_stats().snapshot()
+        rank_totals = self.controller.device.rank_totals()
+        if rank_totals:
+            snap["rank_totals"] = {f"rank{j}": g.snapshot()
+                                   for j, g in enumerate(rank_totals)}
         return SystemResult(
             design=self.design,
             organization=self.organization,

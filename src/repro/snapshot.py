@@ -60,7 +60,10 @@ from typing import Any, Optional
 
 #: Version of the full-snapshot payload.  Bump whenever the simulator's
 #: state shape changes in a way that would make an old payload lie.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: v2: channel bus captures gained the last-burst rank (tCS turnaround)
+#: and the main-memory image is the model's own capture_state dict (flat
+#: bus_free or banked per-channel substrate state) instead of a bare int.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: Version of the :class:`WarmState` payload (independent of the full
 #: snapshot: warm states are a narrow, explicitly-enumerated subset).
@@ -298,7 +301,7 @@ def state_signature(system) -> dict:
     # page-policy bookkeeping at command level) participates.
     sig["substrate"] = [chan.capture_state()
                        for chan in ctl.device.channels]
-    sig["mainmem_bus_free"] = ctl.mainmem._bus_free
+    sig["mainmem"] = ctl.mainmem.capture_state()
     sig["array"] = ctl.array.contents_signature()
     sig["l2"] = {
         "clock": system.l2._clock,

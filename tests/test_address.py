@@ -1,10 +1,11 @@
-"""RoBaRaChCo address mapping and the XOR permutation remapping."""
+"""Pluggable interleaved address mapping and the XOR permutation remapping."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import DRAMOrganization
-from repro.dram.address import AddressMapper, DecodedAddress
+from repro.config import INTERLEAVE_POLICIES, DRAMOrganization
+from repro.dram.address import (AddressMapper, DecodedAddress, INTERLEAVES,
+                                interleave_policy)
 
 
 @pytest.fixture
@@ -82,6 +83,104 @@ class TestValidation:
     def test_non_power_of_two_banks(self):
         with pytest.raises(ValueError):
             AddressMapper(DRAMOrganization(banks_per_rank=10))
+
+
+class TestInterleavePolicies:
+    """The pluggable bit-slicing layer over the same decode/encode core."""
+
+    def test_registry_matches_config_names(self):
+        assert tuple(p.name for p in INTERLEAVES) == INTERLEAVE_POLICIES
+
+    def test_lookup_is_case_insensitive(self):
+        assert interleave_policy("RoBaRaChCo").name == "robarachco"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_policy("corachbaro")
+
+    def test_default_policy_is_robarachco(self, mapper):
+        assert mapper.policy.name == "robarachco"
+
+    def test_robarachco_rank_between_channel_and_bank(self):
+        """LSB->MSB: col, ch, ra, ba, row (the paper's stacked layout)."""
+        org = DRAMOrganization(ranks_per_channel=2)
+        m = AddressMapper(org)
+        row_bytes, channels, ranks = 4096, 4, 2
+        d = m.decode(row_bytes * channels)
+        assert (d.channel, d.rank, d.bank) == (0, 1, 0)
+        d = m.decode(row_bytes * channels * ranks)
+        assert (d.channel, d.rank, d.bank) == (0, 0, 1)
+
+    def test_rorabachco_bank_between_channel_and_rank(self):
+        """LSB->MSB: col, ch, ba, ra, row."""
+        org = DRAMOrganization(ranks_per_channel=2,
+                               interleave="rorabachco")
+        m = AddressMapper(org)
+        row_bytes, channels, banks = 4096, 4, 16
+        d = m.decode(row_bytes)
+        assert (d.channel, d.rank, d.bank) == (1, 0, 0)
+        d = m.decode(row_bytes * channels)
+        assert (d.channel, d.rank, d.bank) == (0, 0, 1)
+        d = m.decode(row_bytes * channels * banks)
+        assert (d.channel, d.rank, d.bank) == (0, 1, 0)
+
+    def test_policies_agree_when_rank_field_is_empty(self):
+        """With 1 rank/channel the two plain orders are the same layout."""
+        a = AddressMapper(DRAMOrganization())
+        b = AddressMapper(DRAMOrganization(interleave="rorabachco"))
+        for addr in (0, 4096, 123456789, 2**30 + 4242):
+            assert a.decode(addr) == b.decode(addr)
+
+    def test_chxor_scatters_same_channel_rows(self):
+        """Rows that pile onto one channel spread across all channels."""
+        plain = AddressMapper(DRAMOrganization())
+        xor = AddressMapper(DRAMOrganization(interleave="chxor"))
+        row_stride = 4096 * 4 * 16   # same channel/bank, next row
+        ch_plain = {plain.decode(i * row_stride).channel for i in range(4)}
+        ch_xor = {xor.decode(i * row_stride).channel for i in range(4)}
+        assert len(ch_plain) == 1
+        assert len(ch_xor) == 4
+
+    def test_chxor_keeps_row_bank_col(self):
+        plain = AddressMapper(DRAMOrganization())
+        xor = AddressMapper(DRAMOrganization(interleave="chxor"))
+        for addr in (0, 8192, 12345600, 2**28):
+            p, x = plain.decode(addr), xor.decode(addr)
+            assert (p.row, p.rank, p.bank, p.col) == (x.row, x.rank,
+                                                      x.bank, x.col)
+
+    def test_row_of_is_policy_independent(self):
+        """Rows sit above every sliced field, so row_of never depends on
+        the policy — the Lee writeback index relies on this."""
+        mappers = [AddressMapper(DRAMOrganization(ranks_per_channel=2,
+                                                  interleave=name))
+                   for name in INTERLEAVE_POLICIES]
+        for addr in (0, 4096, 987654321, 2**31 + 64):
+            rows = {m.row_of(addr) for m in mappers}
+            assert len(rows) == 1
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from(INTERLEAVE_POLICIES),
+           st.sampled_from([1, 2, 4]), st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_bijective_across_policies_and_ranks(self, addr, policy,
+                                                 ranks, remap):
+        """encode(decode(x)) == x for every policy x rank-count x remap."""
+        org = DRAMOrganization(ranks_per_channel=ranks, interleave=policy)
+        m = AddressMapper(org, xor_remap=remap)
+        addr &= ~63
+        assert m.encode(m.decode(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from(INTERLEAVE_POLICIES))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_fields_in_range_all_policies(self, addr, policy):
+        org = DRAMOrganization(ranks_per_channel=2, interleave=policy)
+        d = AddressMapper(org).decode(addr)
+        assert 0 <= d.channel < org.channels
+        assert 0 <= d.rank < org.ranks_per_channel
+        assert 0 <= d.bank < org.banks_per_rank
+        assert 0 <= d.col < org.blocks_per_row
 
 
 class TestXORRemap:
@@ -164,6 +263,22 @@ class TestEncodeDecodeRoundTrip:
     def test_decode_of_encode_recovers_coordinates(self, coord, remap):
         org = DRAMOrganization()
         m = AddressMapper(org, xor_remap=remap)
+        d = DecodedAddress(*coord)
+        assert m.decode(m.encode(d)) == d
+
+    multirank_coords = st.tuples(
+        st.integers(min_value=0, max_value=3),      # channel
+        st.integers(min_value=0, max_value=1),      # rank (2 per channel)
+        st.integers(min_value=0, max_value=15),     # bank
+        st.integers(min_value=0, max_value=2**22),  # row
+        st.integers(min_value=0, max_value=63),     # col
+    )
+
+    @given(multirank_coords, st.sampled_from(INTERLEAVE_POLICIES))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_of_encode_multirank_all_policies(self, coord, policy):
+        org = DRAMOrganization(ranks_per_channel=2, interleave=policy)
+        m = AddressMapper(org)
         d = DecodedAddress(*coord)
         assert m.decode(m.encode(d)) == d
 

@@ -65,6 +65,27 @@ class TestOrganization:
         assert o.total_banks == 64
         assert o.blocks_per_row == 64
 
+    def test_default_interleave(self):
+        assert DRAMOrganization().interleave == "robarachco"
+
+    def test_non_power_of_two_rejected_at_construction(self):
+        """Fail-fast: a bad geometry never survives long enough to build
+        a mapper — sweep expansion catches it at spec-build time."""
+        for field, value in [("channels", 3), ("ranks_per_channel", 6),
+                             ("banks_per_rank", 10), ("row_bytes", 3000),
+                             ("block_bytes", 48), ("channels", 0),
+                             ("row_bytes", -4096)]:
+            with pytest.raises(ValueError, match=field):
+                DRAMOrganization(**{field: value})
+
+    def test_row_smaller_than_block_rejected(self):
+        with pytest.raises(ValueError, match="row_bytes"):
+            DRAMOrganization(row_bytes=32, block_bytes=64)
+
+    def test_unknown_interleave_rejected(self):
+        with pytest.raises(ValueError, match="interleave"):
+            DRAMOrganization(interleave="corachbaro")
+
 
 class TestQueueConfig:
     def test_default_sizes(self):
@@ -130,6 +151,34 @@ class TestMainMemoryConfig:
     def test_bus_occupancy(self):
         # 64 B over a 64-bit 2 GHz bus: 8 transfers at 0.5 ns.
         assert MainMemoryConfig().bus_occupancy_ps == 4000
+
+    def test_default_model_is_flat(self):
+        assert MainMemoryConfig().model == "flat"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="model"):
+            MainMemoryConfig(model="quantum")
+
+    def test_banked_defaults_are_ddr3_two_rank(self):
+        cfg = MainMemoryConfig(model="banked")
+        assert cfg.org.channels == 2
+        assert cfg.org.ranks_per_channel == 2
+        assert cfg.org.banks_per_rank == 8
+        assert cfg.org.row_bytes == 8192
+        assert cfg.timings == DRAMTimings.ddr3_1600()
+
+    def test_ddr3_rank_turnaround(self):
+        """gem5's DDR3_1600_x64 different-rank bus delay: 2 CK = 2.5 ns."""
+        assert DRAMTimings.ddr3_1600().tCS == 2500
+
+    def test_stacked_has_free_rank_switch(self):
+        """tCS=0 keeps the single-rank stacked part bit-identical."""
+        assert DRAMTimings.stacked().tCS == 0
+
+    def test_negative_tcs_rejected(self):
+        from dataclasses import replace
+        with pytest.raises(ValueError, match="tCS"):
+            replace(DRAMTimings.ddr3_1600(), tCS=-1)
 
 
 class TestSystemConfig:

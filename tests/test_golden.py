@@ -1,6 +1,6 @@
 """Golden-run regression pins: committed metric snapshots must not drift.
 
-Two fixtures, one mechanism:
+Three fixtures, one mechanism:
 
 * ``tests/golden/fig08_quick.json`` — the complete results (headline
   fields + full metrics tree) of a small fig08-style run set on the
@@ -12,6 +12,11 @@ Two fixtures, one mechanism:
 * ``tests/golden/command_quick.json`` — the same pin for the
   **command-level** substrate model (``substrate.fidelity=command``),
   freezing the refresh/tFAW/tRRD/page-policy timing composition.
+* ``tests/golden/mainmem_banked_quick.json`` — the same pin with the
+  **banked** off-chip memory model (``mainmem.model=banked``), freezing
+  the DDR3-style multi-channel/multi-rank timing below the cache
+  (including the tCS rank-to-rank bus turnaround) and the
+  ``mainmem_dev``/``mainmem_total`` metric subtrees.
 
 When a behaviour change is *intended*, regenerate the fixtures and
 commit them together with the change::
@@ -42,6 +47,12 @@ BURST_SPECS = [RunSpec(d, "sa", mix_id=1) for d in ("CD", "ROD", "DCA")]
 #: (PR/LR scheduling over refresh + rank throttling) is frozen too
 COMMAND_SPECS = [
     RunSpec(d, "sa", mix_id=1, config=(("substrate.fidelity", "command"),))
+    for d in ("CD", "DCA")
+]
+
+#: banked-mainmem pins: the off-chip topology below the cache
+BANKED_SPECS = [
+    RunSpec(d, "sa", mix_id=1, config=(("mainmem.model", "banked"),))
     for d in ("CD", "DCA")
 ]
 
@@ -117,6 +128,22 @@ def test_golden_fig08_quick():
 
 def test_golden_command_fidelity():
     check_golden(GOLDEN_DIR / "command_quick.json", COMMAND_SPECS)
+
+
+def test_golden_mainmem_banked():
+    check_golden(GOLDEN_DIR / "mainmem_banked_quick.json", BANKED_SPECS)
+
+
+def test_banked_golden_exercises_the_topology():
+    """The banked pin must pin real multi-rank traffic below the cache."""
+    golden_path = GOLDEN_DIR / "mainmem_banked_quick.json"
+    if not golden_path.exists():
+        pytest.skip("banked golden not generated yet")
+    golden = json.loads(golden_path.read_text())
+    for label, entry in golden["entries"].items():
+        total = entry["metrics"]["mainmem_total"]
+        assert total["total_accesses"] > 0, label
+        assert total["rank_switches"] > 0, label
 
 
 def test_command_fidelity_exercises_new_mechanisms():

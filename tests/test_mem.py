@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import CacheGeometry, MainMemoryConfig
 from repro.mem.llc_writeback import DRAMAwareWritebackIndex
-from repro.mem.mainmem import MainMemory
+from repro.mem.mainmem import BankedMainMemory, MainMemory, make_mainmem
 from repro.mem.mshr import MSHRFile
 from repro.mem.sram import SRAMCache
 from repro.sim.engine import Simulator
@@ -43,6 +43,174 @@ class TestMainMemory:
         assert mm.stats.writes == 1
         mm.reset_stats()
         assert mm.stats.reads == 0
+
+    def test_bus_wait_counters(self):
+        """Queued accesses accumulate the time they waited for the bus."""
+        cfg = MainMemoryConfig()
+        sim = Simulator()
+        mm = MainMemory(sim, cfg)
+        mm.fetch(0x0, lambda a: None)       # bus free: no wait
+        mm.fetch(0x40, lambda a: None)      # waits one slot
+        mm.write(0x80)                      # waits two slots
+        assert mm.stats.read_bus_wait_ps == cfg.bus_occupancy_ps
+        assert mm.stats.write_bus_wait_ps == 2 * cfg.bus_occupancy_ps
+
+    def test_write_latency_counters(self):
+        cfg = MainMemoryConfig()
+        sim = Simulator()
+        mm = MainMemory(sim, cfg)
+        mm.write(0x0)
+        assert mm.stats.write_latency_sum_ps == cfg.latency_ps
+        assert mm.stats.mean_write_latency_ps == float(cfg.latency_ps)
+
+    def test_capture_restore_round_trip(self):
+        sim = Simulator()
+        mm = MainMemory(sim, MainMemoryConfig())
+        mm.fetch(0x0, lambda a: None)
+        img = mm.capture_state()
+        t_then = mm.fetch(0x40, lambda a: None)
+        mm.restore_state(img)
+        assert mm.fetch(0x40, lambda a: None) == t_then
+
+    def test_restore_rejects_banked_image(self):
+        sim = Simulator()
+        mm = MainMemory(sim, MainMemoryConfig())
+        with pytest.raises(ValueError):
+            mm.restore_state({"model": "banked", "channels": []})
+
+
+BANKED = MainMemoryConfig(model="banked")
+
+
+def _banked(sim):
+    return BankedMainMemory(sim, BANKED)
+
+
+class TestBankedMainMemory:
+    """The banked model behind the Substrate (mainmem.model="banked")."""
+
+    def test_factory_dispatch(self):
+        sim = Simulator()
+        assert isinstance(make_mainmem(sim, MainMemoryConfig()), MainMemory)
+        assert isinstance(make_mainmem(sim, BANKED), BankedMainMemory)
+
+    def test_cold_fetch_timing(self):
+        """Closed bank: ACT + CAS + the burst; callback fires at the end."""
+        t = BANKED.timings
+        sim = Simulator()
+        mm = _banked(sim)
+        done = []
+        end = mm.fetch(0x1000, done.append)
+        assert end == t.tRCD + t.tCAS + t.tBURST
+        sim.run()
+        assert done == [0x1000] and sim.now == end
+
+    def test_row_hit_is_faster(self):
+        """A second block of the same row skips the activation."""
+        sim = Simulator()
+        mm = _banked(sim)
+        t1 = mm.fetch(0x0, lambda a: None)
+        t2 = mm.fetch(0x40, lambda a: None)   # next block, same row
+        assert t2 - t1 == BANKED.timings.tBURST   # back-to-back bursts
+
+    def test_channels_run_in_parallel(self):
+        """Blocks on different channels don't serialise on one bus."""
+        org = BANKED.org
+        sim = Simulator()
+        mm = _banked(sim)
+        d0 = mm.mapper.decode(0x0)
+        ch_stride = org.row_bytes     # robarachco: channel above column
+        d1 = mm.mapper.decode(ch_stride)
+        assert d0.channel != d1.channel
+        t1 = mm.fetch(0x0, lambda a: None)
+        t2 = mm.fetch(ch_stride, lambda a: None)
+        assert t1 == t2
+
+    def test_rank_switch_pays_tcs(self):
+        """Different-rank bursts on one channel need the tCS bus gap."""
+        org, t = BANKED.org, BANKED.timings
+        rank_stride = org.row_bytes * org.channels
+        sim = Simulator()
+        mm = _banked(sim)
+        d0, d1 = mm.mapper.decode(0x0), mm.mapper.decode(rank_stride)
+        assert d0.channel == d1.channel and d0.rank != d1.rank
+        t1 = mm.fetch(0x0, lambda a: None)
+        t2 = mm.fetch(rank_stride, lambda a: None)
+        assert t2 - t1 == t.tCS + t.tBURST
+        assert mm.channels[d0.channel].stats.rank_switches == 1
+
+    def test_same_rank_bank_switch_free(self):
+        """Same-rank different-bank bursts stream back-to-back."""
+        org, t = BANKED.org, BANKED.timings
+        bank_stride = (org.row_bytes * org.channels
+                       * org.ranks_per_channel)
+        sim = Simulator()
+        mm = _banked(sim)
+        d0, d1 = mm.mapper.decode(0x0), mm.mapper.decode(bank_stride)
+        assert (d0.channel, d0.rank) == (d1.channel, d1.rank)
+        assert d0.bank != d1.bank
+        t1 = mm.fetch(0x0, lambda a: None)
+        t2 = mm.fetch(bank_stride, lambda a: None)
+        assert t2 - t1 == t.tBURST
+        assert mm.channels[d0.channel].stats.rank_switches == 0
+
+    def test_stats_and_reset(self):
+        sim = Simulator()
+        mm = _banked(sim)
+        end = mm.fetch(0x0, lambda a: None)
+        mm.write(0x40)
+        s = mm.stats
+        assert s.reads == 1 and s.writes == 1
+        assert s.read_latency_sum_ps == end
+        assert s.read_bus_wait_ps == end - BANKED.timings.tBURST
+        assert s.write_latency_sum_ps > 0
+        ch = mm.mapper.decode(0x0).channel
+        assert mm.channels[ch].stats.total_accesses == 2
+        mm.reset_stats()
+        assert s.reads == 0
+        assert mm.channels[ch].stats.total_accesses == 0
+
+    def test_metrics_registry_keys(self):
+        sim = Simulator()
+        mm = _banked(sim)
+        for i in range(BANKED.org.channels):
+            assert f"ch{i}" in mm.metrics
+
+    def test_total_stats_rolls_up_channels(self):
+        org = BANKED.org
+        sim = Simulator()
+        mm = _banked(sim)
+        mm.fetch(0x0, lambda a: None)
+        mm.fetch(org.row_bytes, lambda a: None)   # other channel
+        total = mm.total_stats()
+        assert total.read_accesses == 2
+
+    def test_capture_restore_round_trip(self):
+        sim = Simulator()
+        mm = _banked(sim)
+        mm.fetch(0x0, lambda a: None)
+        mm.write(0x2000)
+        img = mm.capture_state()
+        t_then = mm.fetch(0x40, lambda a: None)
+        mm.restore_state(img)
+        assert mm.fetch(0x40, lambda a: None) == t_then
+
+    def test_restore_validates_shape(self):
+        sim = Simulator()
+        mm = _banked(sim)
+        with pytest.raises(ValueError):
+            mm.restore_state({"model": "flat", "bus_free": 0})
+        with pytest.raises(ValueError):
+            mm.restore_state({"model": "banked", "channels": []})
+
+    def test_callback_arg_routing(self):
+        """Like the flat model, ``arg`` replaces the address payload."""
+        sim = Simulator()
+        mm = _banked(sim)
+        got = []
+        mm.fetch(0x1000, got.append, arg="token")
+        sim.run()
+        assert got == ["token"]
 
 
 GEOM = CacheGeometry(size_bytes=8 * 1024, assoc=2)  # 64 sets, tiny

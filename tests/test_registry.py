@@ -183,6 +183,35 @@ class TestMetricRegistry:
         with pytest.raises(ValueError):
             MetricRegistry().register("", SampleStats())
 
+    def test_rollup_sums_matching_leaves(self):
+        reg, *_ = self.make()
+        total = reg.rollup("dram.ch*")
+        assert isinstance(total, ChannelStats)
+        assert total.read_accesses == 2 and total.write_accesses == 3
+
+    def test_rollup_match_all_rejects_mixed_types(self):
+        reg, *_ = self.make()
+        with pytest.raises(ValueError):
+            reg.rollup("*")
+
+    def test_rollup_no_match_raises(self):
+        reg, *_ = self.make()
+        with pytest.raises(KeyError):
+            reg.rollup("hbm.ch*")
+
+    def test_rollup_per_rank_pattern(self):
+        """The cross-channel per-rank pattern the device rollup uses."""
+        from repro.dram.stats import RankStats
+        reg = MetricRegistry()
+        reg.register("ch0", ChannelStats())
+        reg.register("ch0_rank0", RankStats(acts=1))
+        reg.register("ch0_rank1", RankStats(acts=2))
+        reg.register("ch1", ChannelStats())
+        reg.register("ch1_rank0", RankStats(acts=4))
+        reg.register("ch1_rank1", RankStats(acts=8))
+        assert reg.rollup("*_rank0").acts == 5
+        assert reg.rollup("*_rank1").acts == 10
+
 
 class TestSystemWiring:
     """The controller/system publish their counters through registries."""

@@ -1,0 +1,233 @@
+"""End-to-end memory-topology generalisation.
+
+The PR-8 surface: `mainmem.model` (flat vs banked off-chip memory),
+pluggable interleave policies, and the rank dimension — all sweepable
+through the ordinary RunSpec/SweepSpec config paths, all visible in the
+result metrics, and all transparent to the snapshot and warm-cache
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import snapshot
+from repro.config import SubstrateConfig, scaled_config
+from repro.experiments.common import RunSpec, SimParams, run_one
+from repro.scenarios import SweepSpec
+from repro.sim.system import System
+from repro.snapshot import WarmCache
+from repro.workloads.profiles import profile
+
+#: tiny budgets + tiny footprints keep every run in the ~100 ms range
+PARAMS = SimParams(footprint_scale=1 / 400, warmup_insts=2_000,
+                   measure_insts=5_000, replay_accesses=1_000)
+
+BANKED = (("mainmem.model", "banked"),)
+
+
+def strip_meta(result) -> dict:
+    d = result.to_cache_dict()
+    d.pop("meta")
+    return d
+
+
+class TestMainmemModelAxis:
+    """`mainmem.model` as an end-to-end sweepable config path."""
+
+    def test_banked_run_publishes_device_metrics(self):
+        res = run_one(RunSpec("DCA", "sa", mix_id=1, config=BANKED), PARAMS)
+        mm = res.metrics["mainmem"]
+        assert mm["reads"] > 0
+        dev = res.metrics["mainmem_dev"]
+        assert "ch0" in dev and "ch1" in dev
+        total = res.metrics["mainmem_total"]
+        assert (total["read_accesses"] + total["write_accesses"]
+                == mm["reads"] + mm["writes"])
+        # Banked defaults: 2 ranks/channel -> rank switches happen.
+        assert total["rank_switches"] > 0
+
+    def test_flat_default_keeps_metric_key_set(self):
+        """The default tree gains no topology keys (golden-pin contract)."""
+        res = run_one(RunSpec("DCA", "sa", mix_id=1), PARAMS)
+        for key in ("mainmem_dev", "mainmem_total", "rank_totals"):
+            assert key not in res.metrics
+
+    def test_flat_and_banked_timings_differ(self):
+        """The banked timing model is real — fetches see bank timing
+        (ACT+CAS+burst, row hits) instead of the fixed 50 ns."""
+        flat = run_one(RunSpec("CD", "sa", mix_id=1), PARAMS)
+        banked = run_one(RunSpec("CD", "sa", mix_id=1, config=BANKED),
+                         PARAMS)
+        assert (flat.metrics["mainmem"]["mean_read_latency_ps"]
+                != banked.metrics["mainmem"]["mean_read_latency_ps"])
+
+    def test_banked_org_is_sweepable(self):
+        cfg = BANKED + (("mainmem.org.channels", 4),
+                        ("mainmem.org.ranks_per_channel", 1))
+        res = run_one(RunSpec("CD", "sa", mix_id=1, config=cfg), PARAMS)
+        dev = res.metrics["mainmem_dev"]
+        assert set(dev) == {"ch0", "ch1", "ch2", "ch3"}
+        assert res.metrics["mainmem_total"]["rank_switches"] == 0
+
+    def test_banked_command_fidelity_publishes_rank_groups(self):
+        cfg = BANKED + (("mainmem.substrate.fidelity", "command"),)
+        res = run_one(RunSpec("CD", "sa", mix_id=1, config=cfg), PARAMS)
+        dev = res.metrics["mainmem_dev"]
+        assert "ch0_rank0" in dev and "ch0_rank1" in dev
+        assert dev["ch0"]["refreshes_issued"] >= 0   # command counters live
+
+
+class TestInterleaveAxis:
+    """`org.interleave` (and the mainmem copy) as sweep axes."""
+
+    def test_single_rank_orders_are_identical(self):
+        """With 1 rank/channel the two plain field orders are one layout,
+        so the whole simulation must be bit-identical."""
+        a = run_one(RunSpec("DCA", "sa", mix_id=1), PARAMS)
+        b = run_one(RunSpec("DCA", "sa", mix_id=1,
+                            config=(("org.interleave", "rorabachco"),)),
+                    PARAMS)
+        assert strip_meta(a) == strip_meta(b)
+
+    def test_chxor_changes_channel_distribution(self):
+        a = run_one(RunSpec("DCA", "sa", mix_id=1), PARAMS)
+        b = run_one(RunSpec("DCA", "sa", mix_id=1,
+                            config=(("org.interleave", "chxor"),)), PARAMS)
+        assert strip_meta(a) != strip_meta(b)
+
+    def test_mainmem_interleave_is_independent(self):
+        cfg = BANKED + (("mainmem.org.interleave", "chxor"),)
+        res = run_one(RunSpec("CD", "sa", mix_id=1, config=cfg), PARAMS)
+        assert res.metrics["mainmem"]["reads"] > 0
+
+    def test_sweep_spec_expands_topology_axes(self):
+        sw = SweepSpec("topo", axes={"mainmem.model": ["flat", "banked"],
+                                     "org.interleave": ["robarachco",
+                                                        "chxor"]},
+                       base={"mix_id": 1, "design": "CD"})
+        assert len(sw.compile()) == 4
+
+    def test_sweep_spec_rejects_bad_topology_values_at_build(self):
+        """Fail-fast: a bad axis value dies at spec build, not mid-sweep."""
+        with pytest.raises(ValueError):
+            SweepSpec("bad", axes={"org.interleave": ["corachbaro"]},
+                      base={"mix_id": 1, "design": "CD"})
+        with pytest.raises(ValueError):
+            SweepSpec("bad", axes={"mainmem.org.channels": [3]},
+                      base={"mix_id": 1, "design": "CD"})
+
+
+class TestPerRankStats:
+    """The rank dimension end-to-end on the stacked (cache) substrate."""
+
+    def make_result(self):
+        spec = RunSpec("DCA", "sa", mix_id=1,
+                       config=(("org.ranks_per_channel", 2),
+                               ("substrate.fidelity", "command"),
+                               ("timings.tREFI", 400_000)))
+        return run_one(spec, PARAMS)
+
+    def test_rank_groups_and_rollup_published(self):
+        res = self.make_result()
+        sub = res.metrics["substrate"]
+        assert "ch0_rank0" in sub and "ch0_rank1" in sub
+        ranks = res.metrics["rank_totals"]
+        assert set(ranks) == {"rank0", "rank1"}
+
+    def test_rank_rollup_consistent_with_channel_totals(self):
+        res = self.make_result()
+        ranks = res.metrics["rank_totals"]
+        total = res.metrics["substrate_total"]
+        for counter in ("refreshes_issued", "refreshes_postponed",
+                        "rrd_stalls", "faw_stalls", "refresh_stalls"):
+            assert (ranks["rank0"][counter] + ranks["rank1"][counter]
+                    == total[counter]), counter
+        assert ranks["rank0"]["refreshes_issued"] > 0
+        assert ranks["rank1"]["refreshes_issued"] > 0
+
+    def test_rank_switches_counted(self):
+        res = self.make_result()
+        assert res.metrics["substrate_total"]["rank_switches"] > 0
+
+
+def banked_system(seed: int = 1) -> System:
+    base = scaled_config(8)
+    cfg = replace(base,
+                  l2=replace(base.l2, size_bytes=128 * 1024),
+                  dram_cache=replace(base.dram_cache, size_bytes=8 * 2**20))
+    cfg = cfg.with_overrides([("mainmem.model", "banked")])
+    return System(cfg, "DCA", [profile("mcf"), profile("libquantum")],
+                  seed=seed, footprint_scale=1 / 400)
+
+
+class TestBankedSnapshot:
+    """Capture/restore transparency with the banked backend in the loop."""
+
+    def test_restore_then_continue_is_bit_identical(self):
+        a = banked_system(seed=5)
+        a.begin(2_000, 6_000, replay_accesses=1_000)
+        res_a = a.finish()
+        assert res_a.metrics["mainmem_total"]["total_accesses"] > 0
+
+        b = banked_system(seed=5)
+        b.begin(2_000, 6_000, replay_accesses=1_000)
+        b.sim.run(max_events=a.sim.events_run // 2)
+        c = snapshot.restore(snapshot.capture(b))
+        assert snapshot.state_signature(c) == snapshot.state_signature(b)
+        res_b, res_c = b.finish(), c.finish()
+        assert res_b.to_cache_dict() == res_c.to_cache_dict()
+        assert res_c.to_cache_dict() == res_a.to_cache_dict()
+
+    def test_signature_includes_banked_mainmem_state(self):
+        b = banked_system(seed=5)
+        b.begin(2_000, 6_000, replay_accesses=1_000)
+        b.sim.run(max_events=5_000)
+        sig = snapshot.state_signature(b)
+        assert sig["mainmem"]["model"] == "banked"
+        assert len(sig["mainmem"]["channels"]) == 2
+
+
+class TestBankedWarmCache:
+    """Warm states are functional-only, so they cross mainmem models."""
+
+    def test_warm_restore_round_trip_banked(self):
+        donor = RunSpec("CD", "sa", mix_id=1, config=BANKED)
+        spec = RunSpec("DCA", "sa", mix_id=1, config=BANKED)
+        cache = WarmCache()
+        run_one(donor, PARAMS, warm_cache=cache)
+        warm = run_one(spec, PARAMS, warm_cache=cache)
+        cold = run_one(spec, PARAMS)
+        assert warm.meta["warm"]["restored"] is True
+        assert strip_meta(warm) == strip_meta(cold)
+
+    def test_flat_warm_state_serves_banked_run(self):
+        """warm_group_key masks the mainmem config: functional warm-up is
+        timing-free, so one warm-up serves both models bit-identically."""
+        cache = WarmCache()
+        run_one(RunSpec("CD", "sa", mix_id=1), PARAMS, warm_cache=cache)
+        spec = RunSpec("DCA", "sa", mix_id=1, config=BANKED)
+        warm = run_one(spec, PARAMS, warm_cache=cache)
+        assert warm.meta["warm"]["restored"] is True
+        assert strip_meta(warm) == strip_meta(run_one(spec, PARAMS))
+
+
+class TestCommandFidelityMultiRankSubstrate:
+    """System-level sanity for ranks>1 at command fidelity with tCS."""
+
+    def test_tcs_on_stacked_part_slows_it_down(self):
+        """Turning on a rank-to-rank penalty can only add time."""
+        base_over = [("org.ranks_per_channel", 2)]
+        base = scaled_config(8).with_overrides(base_over)
+        slow = scaled_config(8).with_overrides(
+            base_over + [("timings.tCS", 5_000)])
+
+        def elapsed(cfg):
+            sys_ = System(cfg, "CD", [profile("mcf")], seed=2,
+                          footprint_scale=1 / 400)
+            sys_.begin(1_000, 4_000, replay_accesses=500)
+            return sys_.finish().elapsed_ps
+
+        assert elapsed(slow) >= elapsed(base)
