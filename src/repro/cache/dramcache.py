@@ -21,6 +21,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.cache.organizations import DirectMappedGeometry, SetAssociativeGeometry
+from repro.cache.replacement import SA_POLICIES
 from repro.config import DRAMCacheGeometry
 
 
@@ -262,14 +263,26 @@ class DRAMCacheArray:
     organization:
         ``"sa"`` (set-associative, Loh–Hill) or ``"dm"`` (direct-mapped,
         Alloy).
+    replacement:
+        Victim-selection policy for the set-associative organization
+        (see :mod:`repro.cache.replacement`); direct-mapped placement
+        has no choice and ignores it.  Applies to demand fills only —
+        the fused warm-up paths (:meth:`bulk_fill`/:meth:`bulk_fill_many`)
+        keep their LRU-insertion-order semantics under every policy
+        (documented modeling assumption: warm-up populates, it does not
+        exercise replacement).
     """
 
-    def __init__(self, geometry: DRAMCacheGeometry, organization: str = "sa"):
+    def __init__(self, geometry: DRAMCacheGeometry, organization: str = "sa",
+                 replacement: str = "lru"):
         organization = organization.lower()
         if organization not in ("sa", "dm"):
             raise ValueError(f"unknown organization {organization!r}")
         self.geometry = geometry
         self.organization = organization
+        self.replacement = replacement
+        # Module-level function, never a closure (snapshot-safe).
+        self._victim_way = SA_POLICIES[replacement]
         self.sa = SetAssociativeGeometry(geometry)
         self.dm = DirectMappedGeometry(geometry)
         # Geometry scalars flattened onto the instance: probe/_touch run
@@ -391,13 +404,13 @@ class DRAMCacheArray:
             s.dirty[w] = s.dirty[w] or dirty
             self._touch(addr, w)
             return FillResult(w)
-        # Prefer an invalid way; otherwise evict LRU (stamps are unique,
-        # so index-of-min is the unambiguous oldest way).
+        # Prefer an invalid way; otherwise the configured policy picks
+        # among valid ways (stamps are unique, so the default LRU's
+        # index-of-min is the unambiguous oldest way).
         if -1 in tags:
             victim_way = tags.index(-1)
         else:
-            stamps = s.stamp
-            victim_way = stamps.index(min(stamps))
+            victim_way = self._victim_way(tags, s.dirty, s.stamp)
         old_tag = s.tags[victim_way]
         old_dirty = s.dirty[victim_way]
         s.tags[victim_way] = tag

@@ -61,13 +61,14 @@ class CacheRequest:
     """One L2-level request to the DRAM cache."""
 
     __slots__ = ("rtype", "addr", "core_id", "pc", "arrival", "done_time",
-                 "on_done", "hit", "accesses_left", "meta")
+                 "on_done", "hit", "accesses_left", "prefetch", "meta")
 
     _counter = 0
 
     def __init__(self, rtype: RequestType, addr: int, core_id: int,
                  pc: int = 0, arrival: int = 0,
-                 on_done: Optional[Callable[["CacheRequest"], None]] = None):
+                 on_done: Optional[Callable[["CacheRequest"], None]] = None,
+                 prefetch: bool = False):
         self.rtype = rtype
         self.addr = addr
         self.core_id = core_id
@@ -77,6 +78,7 @@ class CacheRequest:
         self.on_done = on_done
         self.hit: Optional[bool] = None   # resolved at tag-read completion
         self.accesses_left = 0            # live accesses gating completion
+        self.prefetch = prefetch          # speculative read: LR class, no MAP-I
         self.meta: dict = {}              # experiment hooks (kept small)
 
     @property
@@ -129,7 +131,11 @@ class Access:
         # Priority class per DCA's taxonomy; identical labels are kept for
         # CD/ROD so stats can distinguish inverted reads there too.
         if role in _READ_ROLES:
-            self.priority = (Priority.PR if request.rtype == RequestType.READ
+            # Prefetch reads are speculative: they ride in the LR class
+            # so DCA never inverts a demand read behind one.
+            self.priority = (Priority.PR
+                             if request.rtype == RequestType.READ
+                             and not request.prefetch
                              else Priority.LR)
             # Flattened like core_id: does this access drive the bus in
             # write mode?  Read per scheduling decision and per issue, so

@@ -101,7 +101,8 @@ class BaseController:
         self.organization = organization
         self.device = DRAMDevice(cfg.timings, cfg.org, xor_remap=xor_remap,
                                  substrate=cfg.substrate)
-        self.array = DRAMCacheArray(cfg.dram_cache, organization)
+        self.array = DRAMCacheArray(cfg.dram_cache, organization,
+                                    replacement=cfg.org.replacement)
         self.translator = Translator(self.array, self.device.mapper)
         self.mapi = MAPIPredictor(cfg.num_cores) if use_mapi else None
         self.mainmem = (mainmem if mainmem is not None
@@ -155,7 +156,10 @@ class BaseController:
                 self.sim.after(self.cfg.queues.forward_latency_ps,
                                self._read_done, req)
                 return
-            if self.mapi is not None:
+            if self.mapi is not None and not req.prefetch:
+                # Prefetch reads never train or consult MAP-I: the
+                # predictor models demand-PC locality and speculative
+                # probes would both pollute it and burn memory bandwidth.
                 predicted_miss = self.mapi.predict_miss(req.core_id, req.pc)
                 req.meta["pred_miss"] = predicted_miss
                 if predicted_miss:
@@ -380,7 +384,7 @@ class BaseController:
         outcome = self.translator.after_tag_read(req, now)
         st = self.stats
         if req.rtype == RequestType.READ:
-            if self.mapi is not None:
+            if self.mapi is not None and not req.prefetch:
                 self.mapi.update(req.core_id, req.pc, outcome.hit,
                                  req.meta.get("pred_miss", False))
             if outcome.hit:

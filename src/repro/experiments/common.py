@@ -212,7 +212,8 @@ def warm_group_key(spec: RunSpec, params: SimParams) -> str:
          _workload_content_token(spec.workload),
          default_seed(spec),
          params.footprint_scale, params.replay_accesses,
-         dataclasses.asdict(cfg.dram_cache), dataclasses.asdict(cfg.l2)],
+         dataclasses.asdict(cfg.dram_cache), dataclasses.asdict(cfg.l2),
+         cfg.org.replacement],
         sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 

@@ -84,7 +84,7 @@ class MainMemory:
         self.stats.bus_busy_ps += self.cfg.bus_occupancy_ps
         return start
 
-    def fetch(self, addr: int, on_done: Callable, arg: Any = None) -> int:
+    def fetch(self, addr: int, on_done: Callable[[Any], None], arg: Any = None) -> int:
         """Read one block; ``on_done(addr)`` fires when data returns.
 
         ``arg`` replaces the address as the callback payload when given
@@ -173,7 +173,7 @@ class BankedMainMemory:
                     self.metrics.register(f"ch{i}_rank{j}", rs)
             self.channels.append(channel)
 
-    def fetch(self, addr: int, on_done: Callable, arg: Any = None) -> int:
+    def fetch(self, addr: int, on_done: Callable[[Any], None], arg: Any = None) -> int:
         """Read one block through its bank; same contract as the flat model."""
         now = self.sim.now
         d = self.mapper.decode(addr)

@@ -14,18 +14,16 @@ blocks bound for the same row (see :mod:`repro.mem.llc_writeback`).
 
 from __future__ import annotations
 
-from operator import itemgetter
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
+from repro.cache.replacement import SRAM_POLICIES
 from repro.config import CacheGeometry
 from repro.metrics.registry import MetricGroup, derived
 
-# C-speed LRU key for eviction scans (entries are [tag, dirty, stamp]).
-_STAMP = itemgetter(2)
-
 
 class SRAMCacheStats(MetricGroup):
-    COUNTERS = ("accesses", "hits", "evictions", "dirty_evictions")
+    COUNTERS = ("accesses", "hits", "evictions", "dirty_evictions",
+                "clean_evictions")
 
     @derived
     def hit_rate(self) -> float:
@@ -33,7 +31,12 @@ class SRAMCacheStats(MetricGroup):
 
 
 class SRAMCache:
-    """Set-associative LRU cache; returns the victim on allocating misses."""
+    """Set-associative cache; returns the victim on allocating misses.
+
+    Victim selection is pluggable via ``geom.replacement`` (see
+    :mod:`repro.cache.replacement`); the default "lru" reproduces the
+    historical true-LRU behaviour exactly.
+    """
 
     def __init__(self, geom: CacheGeometry,
                  row_of: Optional[Callable[[int], int]] = None):
@@ -41,8 +44,10 @@ class SRAMCache:
         self.num_sets = geom.num_sets
         self.block = geom.block_bytes
         self._assoc = geom.assoc
+        # Module-level function, never a closure (snapshot-safe).
+        self._pick_victim = SRAM_POLICIES[geom.replacement]
         # set idx -> list of [tag, dirty, stamp]
-        self._sets: dict[int, list[list]] = {}
+        self._sets: dict[int, list[list[Any]]] = {}
         self._clock = 0
         self.stats = SRAMCacheStats()
         # Optional Lee-writeback support: addr -> DRAM row, and the index.
@@ -138,7 +143,7 @@ class SRAMCache:
         # Miss: allocate (write-allocate for stores too).
         victim_addr = None
         if len(s) >= self._assoc:
-            victim = min(s, key=_STAMP)
+            victim = self._pick_victim(s)
             s.remove(victim)
             self.stats.evictions += 1
             vaddr = self._addr_of(set_idx, victim[0])
@@ -146,6 +151,8 @@ class SRAMCache:
                 self.stats.dirty_evictions += 1
                 self._untrack_dirty(vaddr)
                 victim_addr = vaddr
+            else:
+                self.stats.clean_evictions += 1
         s.append([tag, is_write, self._clock])
         if is_write:
             self._track_dirty(addr)
@@ -191,7 +198,7 @@ class SRAMCache:
 
     # -- snapshot hooks (see repro/snapshot.py and DESIGN.md) -------------------
 
-    def capture_state(self) -> dict:
+    def capture_state(self) -> dict[str, Any]:
         """Independent copy of contents + LRU clock + dirty-row index.
 
         SRAM caches are small (thousands of lines), so an eager copy is
@@ -207,7 +214,7 @@ class SRAMCache:
                            for row, blocks in self._dirty_rows.items()},
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Adopt contents captured by :meth:`capture_state` (re-copied, so
         one captured state serves any number of restores)."""
         self._sets = {k: [e[:] for e in v] for k, v in state["sets"].items()}

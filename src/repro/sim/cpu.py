@@ -114,7 +114,9 @@ class Core:
     # -- the main loop -------------------------------------------------------------
 
     def _step(self, _arg: object) -> None:
+        retrying = False
         if self._retry_op is not None:
+            retrying = True
             op = self._retry_op
             self._retry_op = None
         else:
@@ -124,7 +126,11 @@ class Core:
             self.icount += op[0] + 1
             self._check_budgets()
         _gap, addr, is_write, pc = op
-        outcome, stall_ps = self.system.mem_access(self, addr, is_write, pc)
+        # ``retrying`` tells the system this op already stalled once: the
+        # MSHR must not count a second full-stall for it, and the
+        # prefetcher must not train twice on the same access.
+        outcome, stall_ps = self.system.mem_access(self, addr, is_write, pc,
+                                                   retrying=retrying)
         now = self.sim.now
 
         if outcome == MSHR_FULL:

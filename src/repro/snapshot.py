@@ -67,7 +67,10 @@ SNAPSHOT_SCHEMA_VERSION = 2
 
 #: Version of the :class:`WarmState` payload (independent of the full
 #: snapshot: warm states are a narrow, explicitly-enumerated subset).
-WARM_STATE_VERSION = 1
+#: v2: identity gained the array replacement policy (``array_replacement``
+#: alongside the l2 geometry's own ``replacement`` field) — contents laid
+#: out under one victim policy must not seed a run using another.
+WARM_STATE_VERSION = 2
 
 
 class SnapshotError(RuntimeError):
@@ -106,6 +109,8 @@ class WarmState:
     #: so restore compares these, not just the organization string
     dram_cache_geometry: dict
     l2_geometry: dict
+    #: victim policy the DRAM-cache array contents evolved under
+    array_replacement: str
     #: trace operations each core consumed during the functional warm-up
     trace_counts: list[int]
     #: ``DRAMCacheArray.capture_state()`` payload (CoW-shared backing)
@@ -249,7 +254,7 @@ def state_signature(system) -> dict:
     """
     def req_sig(r) -> tuple:
         return (int(r.rtype), r.addr, r.core_id, r.pc, r.arrival,
-                r.done_time, r.hit, r.accesses_left,
+                r.done_time, r.hit, r.accesses_left, r.prefetch,
                 sorted(k for k in r.meta))
 
     def access_sig(a) -> tuple:
@@ -312,11 +317,19 @@ def state_signature(system) -> dict:
     }
     sig["mshr"] = {
         "entries": sorted(
-            (addr, e.issued_at, e.any_write, len(e.waiters))
+            (addr, e.issued_at, e.any_write, e.is_prefetch, e.promoted,
+             len(e.waiters))
             for addr, e in system.mshr._entries.items()),
-        "counts": (system.mshr.allocations, system.mshr.coalesced,
-                   system.mshr.full_stalls),
+        "used": (system.mshr._demand_used, system.mshr._prefetch_used),
+        "counts": system.mshr.stats.snapshot(),
+        "waiters": len(system._mshr_waiters),
     }
+    sig["writebuf"] = system.writebuf.capture_state()
+    if system.prefetcher is not None:
+        sig["prefetcher"] = {
+            "state": system.prefetcher.capture_state(),
+            "prefetched": sorted(system._prefetched),
+        }
     if ctl.mapi is not None:
         sig["mapi"] = [list(t) for t in ctl.mapi.tables]
     sig["cores"] = [

@@ -18,9 +18,11 @@ class StubSystem:
         self.accesses = []
         self.registered = []          # (core, token)
         self.mshr_waiters = []
+        self.retry_flags = []         # retrying flag of each access
 
-    def mem_access(self, core, addr, is_write, pc):
+    def mem_access(self, core, addr, is_write, pc, retrying=False):
         self.accesses.append((addr, is_write, pc))
+        self.retry_flags.append(retrying)
         return next(self.outcomes)
 
     def register_load(self, core, token):
@@ -139,6 +141,59 @@ class TestBlocking:
         sim.run(until=200_000)
         # the same address was retried (two identical records)
         assert system.accesses[0][0] == system.accesses[1][0] == 0x7700
+
+    def test_retry_flag_reaches_system(self):
+        """Only the re-issue of a held op carries retrying=True."""
+        sim = Simulator()
+        outcomes = itertools.chain([(MSHR_FULL, 0), (MISS, 0)],
+                                   itertools.repeat((L2_HIT, 0)))
+        system = StubSystem(sim, outcomes)
+        core = make_core(sim, system, itertools.repeat(op(addr=0x7700)))
+        core.start(0, 10_000)
+        sim.run(until=100_000)
+        core.mshr_freed()
+        sim.run(until=200_000)
+        assert system.retry_flags[0] is False   # first attempt
+        assert system.retry_flags[1] is True    # the retry of the held op
+        assert all(f is False for f in system.retry_flags[2:])
+
+    def test_retry_does_not_recount_instructions(self):
+        """A held op retires its gap once, not once per attempt."""
+        sim = Simulator()
+        outcomes = itertools.chain([(MSHR_FULL, 0)],
+                                   itertools.repeat((L2_HIT, 0)))
+        system = StubSystem(sim, outcomes)
+        core = make_core(sim, system, itertools.repeat(op(gap=9)))
+        core.start(0, 10_000)
+        sim.run(until=1_000)
+        icount_held = core.icount
+        core.mshr_freed()
+        sim.run(until=2_000)
+        # The retry re-issued the access without re-retiring the gap.
+        assert system.accesses[0] == system.accesses[1]
+        assert core.icount >= icount_held
+        assert core.icount % 10 == 0
+
+    def test_rob_blocked_core_still_waits_for_mshr(self):
+        """load_done on a core holding a retry op must not unblock it."""
+        sim = Simulator()
+        outcomes = itertools.chain([(MISS, 0), (MSHR_FULL, 0), (MISS, 0)],
+                                   itertools.repeat((L2_HIT, 0)))
+        system = StubSystem(sim, outcomes)
+        core = make_core(sim, system, itertools.repeat(op()))
+        core.start(0, 10_000)
+        sim.run(until=100_000)
+        assert core.blocked
+        assert system.mshr_waiters == [core]
+        token = next(iter(core.outstanding))
+        core.load_done(token)          # data back, but still no MSHR slot
+        sim.run(until=150_000)
+        assert core.blocked            # parked on the MSHR, not the ROB
+        n_before = len(system.accesses)
+        core.mshr_freed()
+        sim.run(until=300_000)
+        assert len(system.accesses) > n_before
+        assert system.retry_flags[:3] == [False, False, True]
 
     def test_blocked_time_accounted(self):
         sim = Simulator()
