@@ -9,13 +9,22 @@ Usage::
 ``floor.json`` (next to this script) pins reference values for the
 harness's *speedup ratios* — never absolute wall clocks, which track the
 machine, but ratios of two measurements taken on the same machine in the
-same process, which are comparable across runners.  A metric fails when
+same process, which are comparable across runners.  Two metric kinds:
 
-    observed < floor * (1 - tolerance)
+* ``metrics`` — bigger is better (speedups).  A metric fails when
 
-i.e. more than ``tolerance`` (default 15 %) below its reference.  Missing
-metrics fail too: a section silently dropping out of the BENCH file must
-not read as a pass.  Exit status 0 = all metrics hold, 1 = regression.
+      observed < floor * (1 - tolerance)
+
+  i.e. more than ``tolerance`` (default 15 %) below its reference.
+* ``ceilings`` — smaller is better (overhead ratios, e.g. the banked
+  topology's fetch-loop cost relative to the flat model).  A metric
+  fails when
+
+      observed > ceiling * (1 + tolerance)
+
+Missing metrics fail in both directions: a section silently dropping
+out of the BENCH file must not read as a pass.  Exit status 0 = all
+metrics hold, 1 = regression.
 """
 
 from __future__ import annotations
@@ -41,7 +50,7 @@ def lookup(data: dict, dotted: str):
 def check(bench: dict, floor: dict, tolerance: float) -> list[str]:
     """Return a list of failure messages (empty = pass), printing a table."""
     failures = []
-    print(f"{'metric':<40} {'floor':>8} {'min ok':>8} {'observed':>9}")
+    print(f"{'metric':<40} {'ref':>8} {'limit':>8} {'observed':>9}")
     for metric, ref in floor["metrics"].items():
         threshold = ref * (1.0 - tolerance)
         observed = lookup(bench, metric)
@@ -56,6 +65,20 @@ def check(bench: dict, floor: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{metric}: {observed:.3f} < {threshold:.3f} "
                 f"(floor {ref:.3f} - {tolerance:.0%})")
+    for metric, ref in floor.get("ceilings", {}).items():
+        threshold = ref * (1.0 + tolerance)
+        observed = lookup(bench, metric)
+        if observed is None:
+            print(f"{metric:<40} {ref:>8.2f} {threshold:>8.2f} {'MISSING':>9}")
+            failures.append(f"{metric}: missing from BENCH file")
+            continue
+        status = "ok" if observed <= threshold else "FAIL"
+        print(f"{metric:<40} {ref:>8.2f} {threshold:>8.2f} "
+              f"{observed:>9.2f}  {status}")
+        if observed > threshold:
+            failures.append(
+                f"{metric}: {observed:.3f} > {threshold:.3f} "
+                f"(ceiling {ref:.3f} + {tolerance:.0%})")
     return failures
 
 
@@ -81,8 +104,8 @@ def main(argv=None) -> int:
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(floor['metrics'])} metrics within "
-          f"{tolerance:.0%} of floor")
+    total = len(floor["metrics"]) + len(floor.get("ceilings", {}))
+    print(f"\nall {total} metrics within {tolerance:.0%} of reference")
     return 0
 
 

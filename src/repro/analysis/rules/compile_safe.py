@@ -1,0 +1,148 @@
+"""R7 — compile-safe hot path: mypyc's object model on compiled modules.
+
+The modules in :data:`repro.build_info.MYPYC_MODULES` are optionally
+compiled to C extensions (``REPRO_COMPILE=1 pip install -e .``).  mypyc
+gives classes in compiled modules a **fixed native layout**: attributes
+become struct offsets resolved at compile time, instances carry no
+``__dict__``, and the class object itself is immutable at runtime.
+Python idioms that conflict with that model either fail to compile or —
+worse — compile but change behaviour between the interpreted and
+compiled builds, breaking the repo's bit-identity guarantee.  This rule
+keeps the compiled set free of those idioms so both builds stay
+byte-for-byte interchangeable:
+
+* **attributes must be declared up front** — every ``self.x``
+  assignment outside ``__init__`` must name an attribute that
+  ``__init__`` also assigns (or that ``__slots__``/a class-level
+  annotation declares).  Late attribute creation has no struct slot to
+  land in;
+* **no ``__dict__`` / ``vars()`` on instances** — native objects don't
+  carry one, so any code path reading it diverges between builds;
+* **no dynamic class mutation** — ``setattr`` and monkeypatch-style
+  assignment onto a class object (``Cls.attr = ...``) are rejected:
+  native classes are frozen after definition.
+
+Scope is exactly the canonical compile list, matched by dotted module
+name — edits to ``MYPYC_MODULES`` automatically widen or narrow the
+rule.  Suppressions follow the standard pragma syntax
+(``# dca-lint: disable=R7``) for the rare deliberate exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintRun,
+    Rule,
+    SourceModule,
+    assign_targets,
+    class_methods,
+    self_attr_target,
+)
+from repro.build_info import MYPYC_MODULES
+
+
+def _declared_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attributes with a fixed slot: ``__slots__`` entries, class-level
+    annotations, and everything ``__init__`` assigns on ``self``."""
+    declared: set[str] = set()
+    for stmt in cls.body:
+        # __slots__ = ("a", "b") / class-level `x: int` annotations.
+        for target in assign_targets(stmt):
+            if isinstance(target, ast.Name):
+                if target.id == "__slots__":
+                    value = stmt.value if hasattr(stmt, "value") else None
+                    if isinstance(value, (ast.Tuple, ast.List)):
+                        declared.update(
+                            elt.value for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str))
+                else:
+                    declared.add(target.id)
+    init = class_methods(cls).get("__init__")
+    if init is not None:
+        for node in ast.walk(init):
+            for target in assign_targets(node):
+                attr = self_attr_target(target)
+                if attr is not None:
+                    declared.add(attr)
+    return declared
+
+
+class CompileSafeRule(Rule):
+    id = "R7"
+    name = "compile-safe-hot-path"
+    description = (
+        "modules on the mypyc compile list (repro.build_info."
+        "MYPYC_MODULES) must fit mypyc's native object model: no "
+        "attribute creation outside __init__, no instance __dict__/"
+        "vars(), no setattr or class-object mutation"
+    )
+
+    def check(self, module: SourceModule, run: LintRun) -> Iterator[Finding]:
+        if module.dotted_name not in MYPYC_MODULES:
+            return
+        class_names = {
+            node.name for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._late_attr_findings(module, node)
+            elif isinstance(node, ast.Attribute) and node.attr == "__dict__":
+                yield module.finding(
+                    self, node,
+                    "reading __dict__ in a compiled module: native "
+                    "instances carry none, so interpreted and compiled "
+                    "builds diverge",
+                )
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Name)):
+                if node.func.id == "vars" and node.args:
+                    yield module.finding(
+                        self, node,
+                        "vars(obj) in a compiled module reads the "
+                        "instance __dict__, which native objects lack",
+                    )
+                elif node.func.id == "setattr":
+                    yield module.finding(
+                        self, node,
+                        "setattr in a compiled module: attribute slots "
+                        "are fixed at compile time; assign the attribute "
+                        "directly",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for target in assign_targets(node):
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in class_names):
+                        yield module.finding(
+                            self, node,
+                            f"mutating class object "
+                            f"{target.value.id}.{target.attr}: native "
+                            f"classes are frozen after definition",
+                        )
+
+    def _late_attr_findings(self, module: SourceModule,
+                            cls: ast.ClassDef) -> Iterator[Finding]:
+        declared = _declared_attrs(cls)
+        for name, method in class_methods(cls).items():
+            if name == "__init__":
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                for target in assign_targets(node):
+                    attr = self_attr_target(target)
+                    if attr is not None and attr not in declared:
+                        yield module.finding(
+                            self, node,
+                            f"{cls.name}.{name} creates attribute "
+                            f"self.{attr} outside __init__ — compiled "
+                            f"instances have a fixed layout; initialise "
+                            f"it in __init__ (or declare it in "
+                            f"__slots__)",
+                        )

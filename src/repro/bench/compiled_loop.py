@@ -1,0 +1,205 @@
+"""Compiled-hot-path benchmark section: SoA vs object model, build mode.
+
+Two questions, one section:
+
+* **What did the struct-of-arrays conversion buy?**  The pre-SoA channel
+  kept one :class:`repro.dram.bank.Bank` object per bank and issued
+  through its methods (``row_state`` / ``earliest_cas`` / ``commit``,
+  each a chain of attribute chases through ``bank.t.<timing>``).  The
+  SoA channel stores the same five fields as flat int columns and
+  inlines the classification into index arithmetic.  This module keeps
+  an **object-model reference channel** wired to the same bus rules and
+  drives both through identical access streams — every ``(start, end)``
+  return and the final captured timing state are asserted equal before
+  anything is timed, so the speedup can never come from divergence.
+
+* **Is this process running the compiled build?**  The section records
+  :func:`repro.build_info.build_mode` and the per-module compile status,
+  so a BENCH file documents which build produced its numbers.  Under
+  ``REPRO_COMPILE=1`` installs the same section measures the mypyc
+  build; comparing its JSON against an interpreted run of the same
+  machine gives the compile speedup.
+
+The reference channel is *deliberately* written in the pre-SoA shape —
+per-object method dispatch, dataclass timing lookups — because that is
+the baseline the BENCH ``soa_speedup`` claims against.  Do not
+"optimise" it.
+"""
+
+from __future__ import annotations
+
+import random
+from time import perf_counter
+from typing import Any
+
+from repro.build_info import MYPYC_MODULES, build_mode, compiled_modules
+from repro.config import DRAMOrganization, DRAMTimings
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+
+# Bus direction states (the reference model mirrors the channel's).
+_DIR_NONE = 0
+_DIR_READ = 1
+_DIR_WRITE = 2
+
+
+class _ObjectChannel:
+    """Pre-SoA reference: per-bank ``Bank`` objects + the shared bus rules.
+
+    Implements exactly the subset of :class:`Channel` the benchmark
+    drives (``issue`` and pure estimates) with the historical object
+    layout.  Statistics are omitted — both engines skip them so the
+    timed region is purely bank/bus state math.
+    """
+
+    __slots__ = ("t", "banks", "bpr", "bus_free", "bus_dir",
+                 "_last_read_end", "_last_write_end", "_last_rank")
+
+    def __init__(self, timings: DRAMTimings, org: DRAMOrganization):
+        self.t = timings
+        self.bpr = org.banks_per_rank
+        nbanks = org.ranks_per_channel * org.banks_per_rank
+        self.banks = [Bank(timings) for _ in range(nbanks)]
+        self.bus_free = 0
+        self.bus_dir = _DIR_NONE
+        self._last_read_end = 0
+        self._last_write_end = 0
+        self._last_rank = -1
+
+    def _bus_constrained_start(self, data_ready: int, is_write: bool,
+                               rank: int) -> int:
+        start = max(data_ready, self.bus_free)
+        if is_write:
+            if self.bus_dir == _DIR_READ:
+                start = max(start, self._last_read_end + self.t.tRTW)
+        elif self.bus_dir == _DIR_WRITE:
+            start = max(start, self._last_write_end + self.t.tWTR)
+        if (self.t.tCS and rank >= 0 and self._last_rank >= 0
+                and rank != self._last_rank):
+            start = max(start, self.bus_free + self.t.tCS)
+        return start
+
+    def estimate_burst_start(self, rank: int, bank: int, row: int,
+                             is_write: bool, now: int) -> int:
+        b = self.banks[rank * self.bpr + bank]
+        cas = b.earliest_cas(row, now)
+        return self._bus_constrained_start(cas + self.t.tCAS, is_write, rank)
+
+    def issue(self, rank: int, bank: int, row: int, is_write: bool,
+              now: int) -> tuple[int, int]:
+        b = self.banks[rank * self.bpr + bank]
+        cas = b.earliest_cas(row, now)
+        start = self._bus_constrained_start(cas + self.t.tCAS, is_write, rank)
+        end = start + self.t.tBURST
+        b.commit(row, start - self.t.tCAS, is_write, end)
+        self._last_rank = rank
+        new_dir = _DIR_WRITE if is_write else _DIR_READ
+        self.bus_dir = new_dir
+        self.bus_free = end
+        if is_write:
+            self._last_write_end = end
+        else:
+            self._last_read_end = end
+        return start, end
+
+    def capture_banks(self) -> list[tuple[Any, ...]]:
+        return [b.capture() for b in self.banks]
+
+
+def _make_stream(org: DRAMOrganization, n: int,
+                 seed: int) -> list[tuple[int, int, int, bool, int]]:
+    """A shared (rank, bank, row, is_write, now) access stream.
+
+    ``now`` advances strictly, so SoA estimate probes cannot be served
+    from the generation memo — the comparison times the uncached math in
+    both models.
+    """
+    rng = random.Random(seed)
+    stream = []
+    now = 0
+    for _ in range(n):
+        rank = rng.randrange(org.ranks_per_channel)
+        bank = rng.randrange(org.banks_per_rank)
+        row = rng.randrange(32)
+        is_write = rng.random() < 0.4
+        now += rng.randrange(1, 4000)
+        stream.append((rank, bank, row, is_write, now))
+    return stream
+
+
+def _verify_lockstep(org: DRAMOrganization, timings: DRAMTimings,
+                     stream: list[tuple[int, int, int, bool, int]]) -> None:
+    """Drive both models through the stream; raise on any divergence."""
+    soa = Channel(timings, org)
+    obj = _ObjectChannel(timings, org)
+    for i, (rank, bank, row, is_write, now) in enumerate(stream):
+        est_soa = soa.estimate_burst_start(rank, bank, row, is_write, now)
+        est_obj = obj.estimate_burst_start(rank, bank, row, is_write, now)
+        if est_soa != est_obj:
+            raise AssertionError(
+                f"estimate #{i} diverged: soa={est_soa} object={est_obj}")
+        got_soa = soa.issue(rank, bank, row, is_write, now)
+        got_obj = obj.issue(rank, bank, row, is_write, now)
+        if got_soa != got_obj:
+            raise AssertionError(
+                f"issue #{i} diverged: soa={got_soa} object={got_obj}")
+    if soa.capture_state()["banks"] != obj.capture_banks():
+        raise AssertionError("final bank state diverged between SoA and "
+                             "object models")
+
+
+def run_compiled_section(quick: bool = False, seed: int = 0) -> dict:
+    """Benchmark the SoA hot path against the object reference model."""
+    n = 20_000 if quick else 200_000
+    org = DRAMOrganization()
+    timings = DRAMTimings.stacked()
+    stream = _make_stream(org, n, seed + 77)
+    _verify_lockstep(org, timings, stream[:min(n, 5_000)])
+
+    def time_issue(ch) -> float:
+        issue = ch.issue
+        t0 = perf_counter()
+        for rank, bank, row, is_write, now in stream:
+            issue(rank, bank, row, is_write, now)
+        return perf_counter() - t0
+
+    def time_estimate(ch) -> float:
+        est = ch.estimate_burst_start
+        issue = ch.issue
+        t0 = perf_counter()
+        # Scheduler shape: several candidate probes per commit.
+        for i, (rank, bank, row, is_write, now) in enumerate(stream):
+            est(rank, bank, row, is_write, now)
+            est(rank, bank ^ 1, row + 1, is_write, now)
+            est(rank, bank ^ 2, row + 2, not is_write, now)
+            if i & 3 == 0:
+                issue(rank, bank, row, is_write, now)
+        return perf_counter() - t0
+
+    obj_issue_s = time_issue(_ObjectChannel(timings, org))
+    soa_issue_s = time_issue(Channel(timings, org))
+    obj_est_s = time_estimate(_ObjectChannel(timings, org))
+    soa_est_s = time_estimate(Channel(timings, org))
+
+    return {
+        "build": build_mode(),
+        "mypyc_modules": len(MYPYC_MODULES),
+        "compiled_modules": list(compiled_modules()),
+        "lockstep_checked": True,
+        "issue_loop": {
+            "iterations": n,
+            "object_s": round(obj_issue_s, 6),
+            "soa_s": round(soa_issue_s, 6),
+            "object_per_s": round(n / obj_issue_s, 1) if obj_issue_s else 0.0,
+            "soa_per_s": round(n / soa_issue_s, 1) if soa_issue_s else 0.0,
+            "soa_speedup": round(obj_issue_s / soa_issue_s, 3)
+            if soa_issue_s else 0.0,
+        },
+        "estimate_loop": {
+            "probes": n * 3,
+            "object_s": round(obj_est_s, 6),
+            "soa_s": round(soa_est_s, 6),
+            "soa_speedup": round(obj_est_s / soa_est_s, 3)
+            if soa_est_s else 0.0,
+        },
+    }

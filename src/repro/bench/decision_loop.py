@@ -167,7 +167,7 @@ class _State:
             # The controller's own bucket filter — shared, so the bench
             # always times the production OFS computation.
             return ofs_bucket_filter(q.lr_bank_buckets(),
-                                     self.channel.banks, self.rrpc, _FF)
+                                     self.channel.open_rows, self.rrpc, _FF)
         return q.bank_buckets()
 
 

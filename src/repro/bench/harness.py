@@ -31,10 +31,12 @@ from repro.experiments.common import (
     run_grid,
     write_profiled,
 )
+from repro.bench.compiled_loop import run_compiled_section
 from repro.bench.decision_loop import run_decision_loop
 from repro.bench.engine_loop import run_engine_section
 from repro.bench.substrate_loop import run_substrate_loop
 from repro.bench.topology_loop import run_topology_section
+from repro.build_info import build_mode, check_required
 
 #: Version of the BENCH_*.json payload; bump on any field/semantics change.
 #: v2: added the ``substrate`` section (burst vs command issue-loop
@@ -43,10 +45,13 @@ from repro.bench.topology_loop import run_topology_section
 #: ops + equality-checked in-process end-to-end comparison).
 #: v4: added the ``topology`` section (flat vs banked mainmem fetch-loop
 #: + end-to-end overhead, banked channel-scaling latency curve).
-BENCH_SCHEMA_VERSION = 4
+#: v5: added the ``compiled`` section (SoA vs object-model bank state,
+#: lockstep-checked; build-mode provenance) and the top-level ``build``
+#: field recording interpreted vs compiled for every section's numbers.
+BENCH_SCHEMA_VERSION = 5
 
 #: selectable benchmark sections (``repro-perf [section]``)
-SECTIONS = ("decision", "substrate", "engine", "topology", "e2e")
+SECTIONS = ("decision", "substrate", "engine", "topology", "compiled", "e2e")
 
 
 def run_end_to_end(quick: bool = False, jobs: int = 1) -> dict:
@@ -162,6 +167,7 @@ def run_perf(quick: bool = False, label: str = "dev",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "build": build_mode(),
     }
     def measured() -> None:
         if "decision" in sections:
@@ -174,6 +180,8 @@ def run_perf(quick: bool = False, label: str = "dev",
         if "topology" in sections:
             payload["topology"] = run_topology_section(quick=quick,
                                                        jobs=jobs, seed=seed)
+        if "compiled" in sections:
+            payload["compiled"] = run_compiled_section(quick=quick, seed=seed)
         if "e2e" in sections:
             payload["end_to_end"] = run_end_to_end(quick=quick, jobs=jobs)
             payload["warm_reuse"] = run_warm_reuse(quick=quick, jobs=jobs)
@@ -211,6 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "write pstats data to OUT.prof (walls inflate; "
                         "use for hotspot hunting, not headline ratios)")
     args = p.parse_args(argv)
+    check_required()    # REPRO_REQUIRE_COMPILED=1: no silent fallback
     sections = tuple(args.section) if args.section else None
     if sections and set(sections) - set(SECTIONS):
         p.error(f"unknown sections {sorted(set(sections) - set(SECTIONS))}; "
@@ -260,6 +269,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  topology e2e: flat {te['flat_wall_s']:.1f}s -> banked "
               f"{te['banked_wall_s']:.1f}s  x{te['banked_overhead_x']:.2f}  "
               f"({te['banked_rank_switches']} rank switches)")
+    if "compiled" in data:
+        comp = data["compiled"]
+        il, el = comp["issue_loop"], comp["estimate_loop"]
+        print(f"  soa vs object ({comp['build']}): issue "
+              f"{il['object_per_s']:>9.0f}/s -> {il['soa_per_s']:>9.0f}/s  "
+              f"x{il['soa_speedup']:.2f}   estimates x{el['soa_speedup']:.2f}"
+              f"  (compiled {len(comp['compiled_modules'])}/"
+              f"{comp['mypyc_modules']} modules)")
     if "end_to_end" in data:
         e = data["end_to_end"]
         print(f"  end-to-end: {e['points']} points in {e['wall_s']:.1f}s "

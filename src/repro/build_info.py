@@ -1,0 +1,98 @@
+"""Build introspection for the optional compiled (mypyc) hot path.
+
+The simulator is pure Python and always runs interpreted; setting
+``REPRO_COMPILE=1`` at install time additionally compiles the hot-path
+modules listed in :data:`MYPYC_MODULES` to C extensions via mypyc (see
+setup.py).  Both builds are bit-identical by construction — the compiled
+build is validated against the same golden pins and lockstep suites as
+the interpreted one (tests/test_compiled_parity.py, the ``compiled-smoke``
+CI job) — so compilation is purely a wall-clock lever.
+
+This module is the single source of truth for *what* gets compiled and
+for asking *whether* the active process actually runs compiled code:
+
+* setup.py executes this file standalone (``runpy.run_path``) to read
+  :data:`MYPYC_MODULES` — keep it stdlib-only and import-free at module
+  level so that works outside an installed environment;
+* dca-lint rule R7 ("compile-safe hot path") enforces mypyc's object
+  model on exactly this list;
+* :func:`require_compiled` turns a silent fallback to interpreted
+  modules into a hard error (``REPRO_REQUIRE_COMPILED=1`` in the
+  compiled-smoke CI job), because a compiled-build pipeline that
+  quietly measures interpreted code would pin meaningless numbers.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+
+#: Hot-path modules compiled when the package is installed with
+#: ``REPRO_COMPILE=1``.  Order is import-dependency order (leaf first);
+#: every entry must stay ``mypy --strict``-clean (pyproject overrides)
+#: and dca-lint R7-clean, or the compiled build breaks in CI.
+MYPYC_MODULES: tuple[str, ...] = (
+    "repro.core.access",
+    "repro.core.queues",
+    "repro.dram.bank",
+    "repro.dram.channel",
+    "repro.dram.command",
+    "repro.sim.engine",
+)
+
+#: File suffixes marking a C-extension module (CPython / Windows).
+_EXT_SUFFIXES = (".so", ".pyd")
+
+
+def compiled_modules() -> tuple[str, ...]:
+    """The subset of :data:`MYPYC_MODULES` actually running compiled.
+
+    A module counts as compiled when the import system resolved it to a
+    C extension (mypyc emits one shared object per module).  Importing
+    is safe here: these are core simulator modules that every real
+    entry point loads anyway.
+    """
+    out = []
+    for name in MYPYC_MODULES:
+        mod = importlib.import_module(name)
+        origin = getattr(mod, "__file__", None) or ""
+        if origin.endswith(_EXT_SUFFIXES):
+            out.append(name)
+    return tuple(out)
+
+
+def is_compiled() -> bool:
+    """True when *every* hot-path module runs as a C extension.
+
+    All-or-nothing on purpose: a half-compiled tree (e.g. a stale
+    in-place build after editing one module) has the perf profile of
+    neither build and must not be reported as "compiled".
+    """
+    return compiled_modules() == MYPYC_MODULES
+
+
+def build_mode() -> str:
+    """``"compiled"`` or ``"interpreted"`` — for BENCH/report metadata."""
+    return "compiled" if is_compiled() else "interpreted"
+
+
+def require_compiled() -> None:
+    """Raise unless the full hot path runs compiled.
+
+    Call sites gate on the ``REPRO_REQUIRE_COMPILED=1`` environment
+    variable via :func:`check_required`; this function is the
+    unconditional assertion.
+    """
+    missing = [m for m in MYPYC_MODULES if m not in compiled_modules()]
+    if missing:
+        raise RuntimeError(
+            "compiled hot path required (REPRO_REQUIRE_COMPILED=1) but "
+            f"these modules run interpreted: {', '.join(missing)} — "
+            "reinstall with REPRO_COMPILE=1 pip install -e . (needs mypy "
+            "and a C toolchain)")
+
+
+def check_required() -> None:
+    """Enforce :func:`require_compiled` iff REPRO_REQUIRE_COMPILED=1."""
+    if os.environ.get("REPRO_REQUIRE_COMPILED") == "1":
+        require_compiled()

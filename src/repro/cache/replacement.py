@@ -30,30 +30,35 @@ from __future__ import annotations
 
 from operator import itemgetter
 from types import MappingProxyType
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 # Entries are [tag, dirty, stamp]; stamps are unique and monotonic.
 _STAMP = itemgetter(2)
 
-SRAMVictimFn = Callable[[Sequence[list[Any]]], list[Any]]
+# SRAM policies only iterate (min / filter), so any iterable of entries
+# works — the SRAM cache passes its per-set dict's values() view without
+# materialising a list per eviction.
+SRAMVictimFn = Callable[[Iterable[list[Any]]], list[Any]]
 SAVictimFn = Callable[[Sequence[int], Sequence[bool], Sequence[int]], int]
 
 
 # -- SRAM caches (list-of-entries sets) -----------------------------------------
 
 
-def _sram_lru(s: Sequence[list[Any]]) -> list[Any]:
+def _sram_lru(s: Iterable[list[Any]]) -> list[Any]:
     return min(s, key=_STAMP)
 
 
-def _sram_lru_clean(s: Sequence[list[Any]]) -> list[Any]:
-    clean = [e for e in s if not e[1]]
-    return min(clean, key=_STAMP) if clean else min(s, key=_STAMP)
+def _sram_lru_clean(s: Iterable[list[Any]]) -> list[Any]:
+    entries = list(s)
+    clean = [e for e in entries if not e[1]]
+    return min(clean, key=_STAMP) if clean else min(entries, key=_STAMP)
 
 
-def _sram_lru_dirty(s: Sequence[list[Any]]) -> list[Any]:
-    dirty = [e for e in s if e[1]]
-    return min(dirty, key=_STAMP) if dirty else min(s, key=_STAMP)
+def _sram_lru_dirty(s: Iterable[list[Any]]) -> list[Any]:
+    entries = list(s)
+    dirty = [e for e in entries if e[1]]
+    return min(dirty, key=_STAMP) if dirty else min(entries, key=_STAMP)
 
 
 SRAM_POLICIES: Mapping[str, SRAMVictimFn] = MappingProxyType({

@@ -23,8 +23,12 @@ from typing import Iterable, Mapping, Optional
 
 from repro.config import BLISSConfig
 from repro.core.access import Access
+from repro.core.queues import BankBucket, FrozenBucket
 from repro.dram.bank import ROW_HIT
 from repro.dram.channel import Channel
+
+#: Any bank-bucket column group the schedulers can scan.
+BucketColumns = BankBucket | FrozenBucket
 
 #: Sentinel above any real ``Access.seq`` (a monotonic counter).
 _SEQ_MAX = 1 << 62
@@ -95,25 +99,33 @@ class BLISSScheduler:
                 best, best_key = a, key
         return best
 
-    def pick_banked(self, buckets: "Mapping[int, Iterable[Access]]",
+    def pick_banked(self, buckets: "Mapping[int, BucketColumns]",
                     channel: Channel, now: int) -> Optional[Access]:
-        """Fast-path selection over bank-bucketed candidates.
+        """Fast-path selection over bank-bucketed candidate columns.
 
-        ``buckets`` maps ``global_bank`` to a non-empty group of accesses
-        targeting that bank (the queue's incremental indexes, or any
-        filtered subset keyed the same way).  The open row is fetched once
-        per bank — ``global_bank % len(banks)`` is the channel-local bank
-        index by construction of ``AddressMapper.global_bank`` — and the
-        (blacklist, row-miss, seq) lexicographic order is evaluated as
-        the oldest candidate per (blacklisted, row-miss) class, returned
-        in class order.  Bit-identical to :meth:`pick` on the flattened
-        candidate set: ``seq`` is globally unique, so the argmin is
-        unique and iteration order is irrelevant.
+        ``buckets`` maps ``global_bank`` to a non-empty column bucket of
+        accesses targeting that bank (the queue's incremental indexes, or
+        any filtered subset keyed the same way).  The open row is fetched
+        once per bank — ``global_bank % len(banks)`` is the channel-local
+        bank index by construction of ``AddressMapper.global_bank`` — and
+        the (blacklist, row-miss, seq) lexicographic order is evaluated
+        as the oldest candidate per (blacklisted, row-miss) class over
+        the bucket's flat int columns, returned in class order.  While no
+        core is blacklisted, a bucket whose bank has no open row (or no
+        hit on it) is a single-class group: its argmin batches into
+        C-level ``min``/``index`` with no per-candidate bytecode at all.
+        Bit-identical to :meth:`pick` on the flattened candidate set:
+        ``seq`` is globally unique, so the argmin is unique and
+        iteration order is irrelevant.
         """
         self.maybe_clear(now)
         bl = self.blacklist
-        banks = channel.banks
-        nbanks = len(banks)
+        # SoA hot path: one list index per bucket fetches the open row
+        # (-1 = closed, which no real row id equals — the None check the
+        # object model needed disappears).
+        open_rows = channel.open_rows
+        nbanks = len(open_rows)
+        any_bl = True in bl
         # Oldest candidate per (blacklisted, row-miss) class; returning the
         # first non-empty class in 00 < 01 < 10 < 11 order is exactly the
         # (blacklist, row-miss, seq) lexicographic minimum, with no tuple
@@ -121,20 +133,44 @@ class BLISSScheduler:
         b_hit = b_miss = b_bl_hit = b_bl_miss = None
         s_hit = s_miss = s_bl_hit = s_bl_miss = _SEQ_MAX
         for gb, bucket in buckets.items():
-            open_row = banks[gb % nbanks].open_row
-            for a in bucket:
-                s = a.seq
-                if bl[a.core_id]:
-                    if a.row == open_row:
+            open_row = open_rows[gb % nbanks]
+            seqs = bucket.seqs
+            rows = bucket.rows
+            if not any_bl:
+                if open_row < 0 or open_row not in rows:
+                    m = min(seqs)          # pure-miss bucket: one class
+                    if m < s_miss:
+                        s_miss = m
+                        b_miss = bucket.accs[seqs.index(m)]
+                    continue
+                for i in range(len(seqs)):
+                    s = seqs[i]
+                    if rows[i] == open_row:
+                        if s < s_hit:
+                            s_hit = s
+                            b_hit = bucket.accs[i]
+                    elif s < s_miss:
+                        s_miss = s
+                        b_miss = bucket.accs[i]
+                continue
+            cores = bucket.cores
+            for i in range(len(seqs)):
+                s = seqs[i]
+                if bl[cores[i]]:
+                    if rows[i] == open_row:
                         if s < s_bl_hit:
-                            s_bl_hit, b_bl_hit = s, a
+                            s_bl_hit = s
+                            b_bl_hit = bucket.accs[i]
                     elif s < s_bl_miss:
-                        s_bl_miss, b_bl_miss = s, a
-                elif a.row == open_row:
+                        s_bl_miss = s
+                        b_bl_miss = bucket.accs[i]
+                elif rows[i] == open_row:
                     if s < s_hit:
-                        s_hit, b_hit = s, a
+                        s_hit = s
+                        b_hit = bucket.accs[i]
                 elif s < s_miss:
-                    s_miss, b_miss = s, a
+                    s_miss = s
+                    b_miss = bucket.accs[i]
         if b_hit is not None:
             return b_hit
         if b_miss is not None:

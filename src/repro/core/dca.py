@@ -28,11 +28,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.access import Access, Priority
 from repro.core.base import BaseController
-from repro.core.queues import AccessQueue
+from repro.core.queues import AccessQueue, BankBucket, FrozenBucket
 from repro.core.rrpc import RRPCTable
 from repro.dram.bank import ROW_CONFLICT
 
@@ -58,27 +58,28 @@ def ofs_naive_candidates(entries: Iterable[Access], channel, rrpc: RRPCTable,
     return out
 
 
-def ofs_bucket_filter(lr_buckets: Mapping[int, Iterable[Access]],
-                      banks: list, rrpc: RRPCTable,
-                      flushing_factor: int) -> dict[int, list[Access]]:
+def ofs_bucket_filter(lr_buckets: Mapping[int, BankBucket],
+                      open_rows: Sequence[int], rrpc: RRPCTable,
+                      flushing_factor: int) -> dict[int, BankBucket | FrozenBucket]:
     """Apply the OFS criteria (§IV-C) per *bank* over LR bank buckets.
 
-    A closed row (``open_row is None``) or a decayed RRPC counter admits
-    a bank's whole bucket; otherwise only its row hits are safe.  The
-    bucket's channel-local bank is ``global_bank % len(banks)`` (see
-    ``AddressMapper.global_bank``).  Shared by the controller hot path
-    and the perf benchmark so the two can't drift apart.
+    A closed row (``open_rows[i] == -1`` in the channel's SoA columns) or
+    a decayed RRPC counter admits a bank's whole bucket — passed through
+    *by reference*, no copy; otherwise only its row hits are safe, and
+    the bucket's ``rows`` column is membership-tested once before any
+    filtered copy is built.  The bucket's channel-local bank is
+    ``global_bank % len(open_rows)`` (see ``AddressMapper.global_bank``).
+    Shared by the controller hot path and the perf benchmark so the two
+    can't drift apart.
     """
-    nbanks = len(banks)
-    out: dict[int, list[Access]] = {}
+    nbanks = len(open_rows)
+    out: dict[int, BankBucket | FrozenBucket] = {}
     for gb, bucket in lr_buckets.items():
-        open_row = banks[gb % nbanks].open_row
-        if open_row is None or rrpc.allows_flush(gb, flushing_factor):
-            out[gb] = list(bucket)
-        else:
-            safe = [a for a in bucket if a.row == open_row]
-            if safe:
-                out[gb] = safe
+        open_row = open_rows[gb % nbanks]
+        if open_row < 0 or rrpc.allows_flush(gb, flushing_factor):
+            out[gb] = bucket
+        elif open_row in bucket.rows:
+            out[gb] = bucket.row_hits(open_row)
     return out
 
 
@@ -123,14 +124,14 @@ class DCAController(BaseController):
                                     self.device.channels[ch], self.rrpc,
                                     self.cfg.dca.flushing_factor)
 
-    def _ofs_buckets(self, ch: int) -> dict[int, list[Access]]:
+    def _ofs_buckets(self, ch: int) -> dict[int, BankBucket | FrozenBucket]:
         """OFS candidates as per-bank buckets, from the LR index.
 
         Same candidate set as :meth:`_ofs_candidates`, computed with one
         row-state and one RRPC check per *bank* instead of per access.
         """
         return ofs_bucket_filter(self.read_q[ch].lr_bank_buckets(),
-                                 self.device.channels[ch].banks,
+                                 self.device.channels[ch].open_rows,
                                  self.rrpc, self.cfg.dca.flushing_factor)
 
     def _select(self, ch: int) -> Optional[tuple[Access, AccessQueue]]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from repro.core.access import Access
+from repro.core.queues import BankBucket, FrozenBucket
 from repro.dram.bank import ROW_HIT
 from repro.dram.channel import Channel
 
@@ -45,26 +46,39 @@ class FRFCFSScheduler:
                 best, best_key = a, key
         return best
 
-    def pick_banked(self, buckets: Mapping[int, Iterable[Access]],
+    def pick_banked(self, buckets: "Mapping[int, BankBucket | FrozenBucket]",
                     channel: Channel, now: int) -> Optional[Access]:
-        """Fast-path selection over bank-bucketed candidates (see BLISS).
+        """Fast-path selection over bank-bucketed candidate columns (see
+        BLISS).
 
-        ``buckets`` maps ``global_bank`` to same-bank access groups; the
-        oldest row-hit wins, else the oldest access.  Bit-identical to
-        :meth:`pick` on the flattened set: the unique ``seq`` tiebreak
-        makes the argmin independent of iteration order.
+        ``buckets`` maps ``global_bank`` to same-bank column buckets; the
+        oldest row-hit wins, else the oldest access.  A bucket with no
+        hit on its bank's open row is one class, so its argmin batches
+        into C-level ``min``/``index`` over the ``seqs`` column.
+        Bit-identical to :meth:`pick` on the flattened set: the unique
+        ``seq`` tiebreak makes the argmin independent of iteration order.
         """
-        banks = channel.banks
-        nbanks = len(banks)
+        open_rows = channel.open_rows   # SoA: -1 = closed (see BLISS)
+        nbanks = len(open_rows)
         b_hit = b_miss = None
         s_hit = s_miss = _SEQ_MAX
         for gb, bucket in buckets.items():
-            open_row = banks[gb % nbanks].open_row
-            for a in bucket:
-                s = a.seq
-                if a.row == open_row:
+            open_row = open_rows[gb % nbanks]
+            seqs = bucket.seqs
+            rows = bucket.rows
+            if open_row < 0 or open_row not in rows:
+                m = min(seqs)              # pure-miss bucket: one class
+                if m < s_miss:
+                    s_miss = m
+                    b_miss = bucket.accs[seqs.index(m)]
+                continue
+            for i in range(len(seqs)):
+                s = seqs[i]
+                if rows[i] == open_row:
                     if s < s_hit:
-                        s_hit, b_hit = s, a
+                        s_hit = s
+                        b_hit = bucket.accs[i]
                 elif s < s_miss:
-                    s_miss, b_miss = s, a
+                    s_miss = s
+                    b_miss = bucket.accs[i]
         return b_hit if b_hit is not None else b_miss

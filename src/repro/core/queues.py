@@ -16,24 +16,118 @@ per-slot scheduling decision never rescans the whole pool:
   O(1) via swap-pop;
 * **per-priority partitions** — insertion-ordered sets of the PR and LR
   read classes, giving O(1) ``pr_count``/``lr_count`` and O(k) views;
-* **per-bank buckets** (``global_bank -> ordered set``) for all entries
-  and for each read class, so row-hit classification is done once per
-  *bank* instead of once per *access* and DCA's OFS candidate set is a
-  bucket walk instead of a full-queue filter.
+* **per-bank buckets** (``global_bank -> `` :class:`BankBucket`) for all
+  entries and for each read class, so row-hit classification is done once
+  per *bank* instead of once per *access* and DCA's OFS candidate set is
+  a bucket walk instead of a full-queue filter.
 
-Swap-pop perturbs the order of ``entries``, which is safe because every
-selection policy in this codebase totally orders candidates with the
-globally unique ``Access.seq`` as the final tiebreak: the argmin is
-unique, hence independent of iteration order (see DESIGN.md, "Indexed
-scheduling fast path").  The ordered-dict buckets themselves preserve
-insertion order, keeping iteration deterministic.
+Buckets are **struct-of-arrays**: each keeps the scheduler-relevant
+fields of its members (``seqs`` / ``rows`` / ``cores``) as parallel flat
+lists alongside the access objects, mirroring the channel's SoA bank
+state.  ``pick_banked`` scans those int columns — the candidate-readiness
+classification (row hit? blacklisted? age) batches into list index math
+per bank with no per-candidate attribute chases, and only the winning
+index dereferences an ``Access``.
+
+Swap-pop perturbs the order of ``entries`` and of the bucket columns,
+which is safe because every selection policy in this codebase totally
+orders candidates with the globally unique ``Access.seq`` as the final
+tiebreak: the argmin is unique, hence independent of iteration order
+(see DESIGN.md, "Indexed scheduling fast path").
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.core.access import Access, Priority
+
+
+class BankBucket:
+    """Same-bank candidates as parallel columns (one slot per access).
+
+    ``accs[i]`` / ``seqs[i]`` / ``rows[i]`` / ``cores[i]`` describe one
+    queued access; removal is swap-pop on all four columns at once.
+    The scheduler fast paths read the int columns directly; iteration
+    yields the access objects (order is scan order, not age — safe, see
+    module docstring).
+    """
+
+    __slots__ = ("accs", "seqs", "rows", "cores", "_pos")
+
+    def __init__(self) -> None:
+        self.accs: list[Access] = []
+        self.seqs: list[int] = []
+        self.rows: list[int] = []
+        self.cores: list[int] = []
+        self._pos: Dict[Access, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.accs)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accs)
+
+    def __contains__(self, access: Access) -> bool:
+        return access in self._pos
+
+    def add(self, access: Access) -> None:
+        self._pos[access] = len(self.accs)
+        self.accs.append(access)
+        self.seqs.append(access.seq)
+        self.rows.append(access.row)
+        self.cores.append(access.core_id)
+
+    def discard(self, access: Access) -> bool:
+        """Swap-pop ``access`` out of every column; True when emptied."""
+        accs = self.accs
+        idx = self._pos.pop(access)
+        last = accs.pop()
+        last_seq = self.seqs.pop()
+        last_row = self.rows.pop()
+        last_core = self.cores.pop()
+        if last is not access:
+            accs[idx] = last
+            self.seqs[idx] = last_seq
+            self.rows[idx] = last_row
+            self.cores[idx] = last_core
+            self._pos[last] = idx
+        return not accs
+
+    def row_hits(self, open_row: int) -> "FrozenBucket":
+        """Filtered copy keeping only candidates whose row is ``open_row``.
+
+        Used by DCA's OFS filter when a bank admits only its safe (row
+        hit) candidates; the result is a read-only column group the
+        schedulers consume exactly like a live bucket.
+        """
+        accs = self.accs
+        cores = self.cores
+        seqs = self.seqs
+        keep = [i for i, row in enumerate(self.rows) if row == open_row]
+        return FrozenBucket([accs[i] for i in keep],
+                            [seqs[i] for i in keep],
+                            [open_row] * len(keep),
+                            [cores[i] for i in keep])
+
+
+class FrozenBucket:
+    """Read-only column group (a filtered view of a :class:`BankBucket`)."""
+
+    __slots__ = ("accs", "seqs", "rows", "cores")
+
+    def __init__(self, accs: list[Access], seqs: list[int],
+                 rows: list[int], cores: list[int]) -> None:
+        self.accs = accs
+        self.seqs = seqs
+        self.rows = rows
+        self.cores = cores
+
+    def __len__(self) -> int:
+        return len(self.accs)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accs)
 
 
 class AccessQueue:
@@ -51,12 +145,12 @@ class AccessQueue:
         #: access -> index into ``entries`` (O(1) membership + removal)
         self._pos: Dict[Access, int] = {}
         # Insertion-ordered sets (dicts with None values): per-priority
-        # partitions of the read classes, and per-bank buckets.
+        # partitions of the read classes.  Buckets are column stores.
         self._pr: Dict[Access, None] = {}
         self._lr: Dict[Access, None] = {}
-        self._banks: Dict[int, Dict[Access, None]] = {}
-        self._pr_banks: Dict[int, Dict[Access, None]] = {}
-        self._lr_banks: Dict[int, Dict[Access, None]] = {}
+        self._banks: Dict[int, BankBucket] = {}
+        self._pr_banks: Dict[int, BankBucket] = {}
+        self._lr_banks: Dict[int, BankBucket] = {}
         # time-weighted occupancy, for average-occupancy reporting
         self._occupancy_integral = 0
         self._last_t = 0
@@ -65,7 +159,7 @@ class AccessQueue:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Access]:
         return iter(self.entries)
 
     def __contains__(self, access: Access) -> bool:
@@ -89,21 +183,21 @@ class AccessQueue:
         gb = access.global_bank
         bucket = self._banks.get(gb)
         if bucket is None:
-            bucket = self._banks[gb] = {}
-        bucket[access] = None
+            bucket = self._banks[gb] = BankBucket()
+        bucket.add(access)
         prio = access.priority
         if prio == Priority.PR:
             self._pr[access] = None
             pb = self._pr_banks.get(gb)
             if pb is None:
-                pb = self._pr_banks[gb] = {}
-            pb[access] = None
+                pb = self._pr_banks[gb] = BankBucket()
+            pb.add(access)
         elif prio == Priority.LR:
             self._lr[access] = None
             lb = self._lr_banks.get(gb)
             if lb is None:
-                lb = self._lr_banks[gb] = {}
-            lb[access] = None
+                lb = self._lr_banks[gb] = BankBucket()
+            lb.add(access)
 
     def remove(self, access: Access, now: int = 0) -> None:
         self._account(now)
@@ -117,22 +211,16 @@ class AccessQueue:
             entries[idx] = last
             self._pos[last] = idx
         gb = access.global_bank
-        bucket = self._banks[gb]
-        del bucket[access]
-        if not bucket:
+        if self._banks[gb].discard(access):
             del self._banks[gb]
         prio = access.priority
         if prio == Priority.PR:
             del self._pr[access]
-            pb = self._pr_banks[gb]
-            del pb[access]
-            if not pb:
+            if self._pr_banks[gb].discard(access):
                 del self._pr_banks[gb]
         elif prio == Priority.LR:
             del self._lr[access]
-            lb = self._lr_banks[gb]
-            del lb[access]
-            if not lb:
+            if self._lr_banks[gb].discard(access):
                 del self._lr_banks[gb]
 
     # -- occupancy accounting ---------------------------------------------------
@@ -171,19 +259,19 @@ class AccessQueue:
         """Queued LR-class (writeback/refill tag-read) accesses, O(1)."""
         return len(self._lr)
 
-    def bank_buckets(self) -> Dict[int, Dict[Access, None]]:
-        """``global_bank -> ordered set`` over **all** entries.
+    def bank_buckets(self) -> Dict[int, BankBucket]:
+        """``global_bank -> column bucket`` over **all** entries.
 
         Read-only view of live internal state: callers must not mutate it,
         and must not push/remove while iterating.
         """
         return self._banks
 
-    def pr_bank_buckets(self) -> Dict[int, Dict[Access, None]]:
+    def pr_bank_buckets(self) -> Dict[int, BankBucket]:
         """Per-bank buckets restricted to PR-class accesses (read-only)."""
         return self._pr_banks
 
-    def lr_bank_buckets(self) -> Dict[int, Dict[Access, None]]:
+    def lr_bank_buckets(self) -> Dict[int, BankBucket]:
         """Per-bank buckets restricted to LR-class accesses (read-only)."""
         return self._lr_banks
 
@@ -224,3 +312,10 @@ class AccessQueue:
             for gb, bucket in index.items():
                 assert bucket, f"{name}: empty bucket {gb}"
                 assert all(a.global_bank == gb for a in bucket), name
+                # Column coherence: every parallel lane describes its
+                # access, and the position map inverts the layout.
+                for i, a in enumerate(bucket.accs):
+                    assert bucket.seqs[i] == a.seq, name
+                    assert bucket.rows[i] == a.row, name
+                    assert bucket.cores[i] == a.core_id, name
+                    assert bucket._pos[a] == i, name

@@ -46,6 +46,86 @@ class RowState(IntEnum):
     CONFLICT = ROW_CONFLICT
 
 
+class BankView:
+    """Object view of one bank's slice of a channel's struct-of-arrays state.
+
+    The channel stores bank timing state as five parallel ``list[int]``
+    columns (see :class:`repro.dram.channel.Channel`); this proxy gives
+    the naive reference selectors, tests and foreign code the historical
+    per-bank object surface (``open_row`` / ``row_state`` / readiness
+    times) over those columns.  Reads and writes go straight through to
+    the shared lists, so a view is never stale.  ``open_row`` keeps the
+    ``None``-when-closed convention (the columns use ``-1``).
+    """
+
+    __slots__ = ("_open", "_act", "_cas", "_pre", "_ract", "_idx")
+
+    def __init__(self, open_rows: list[int], act_times: list[int],
+                 ready_cas: list[int], ready_pre: list[int],
+                 ready_act: list[int], idx: int):
+        self._open = open_rows
+        self._act = act_times
+        self._cas = ready_cas
+        self._pre = ready_pre
+        self._ract = ready_act
+        self._idx = idx
+
+    @property
+    def open_row(self) -> int | None:
+        row = self._open[self._idx]
+        return None if row < 0 else row
+
+    @open_row.setter
+    def open_row(self, row: int | None) -> None:
+        self._open[self._idx] = -1 if row is None else row
+
+    @property
+    def act_time(self) -> int:
+        return self._act[self._idx]
+
+    @act_time.setter
+    def act_time(self, value: int) -> None:
+        self._act[self._idx] = value
+
+    @property
+    def ready_cas(self) -> int:
+        return self._cas[self._idx]
+
+    @ready_cas.setter
+    def ready_cas(self, value: int) -> None:
+        self._cas[self._idx] = value
+
+    @property
+    def ready_pre(self) -> int:
+        return self._pre[self._idx]
+
+    @ready_pre.setter
+    def ready_pre(self, value: int) -> None:
+        self._pre[self._idx] = value
+
+    @property
+    def ready_act(self) -> int:
+        return self._ract[self._idx]
+
+    @ready_act.setter
+    def ready_act(self, value: int) -> None:
+        self._ract[self._idx] = value
+
+    def row_state(self, row: int) -> int:
+        """Classify an access to ``row``: ROW_HIT / ROW_CLOSED / ROW_CONFLICT."""
+        orow = self._open[self._idx]
+        if orow < 0:
+            return ROW_CLOSED
+        return ROW_HIT if orow == row else ROW_CONFLICT
+
+    def capture(self) -> BankState:
+        """Value tuple of the bank's slice (same layout as Bank.capture)."""
+        i = self._idx
+        orow = self._open[i]
+        return (None if orow < 0 else orow, self._act[i], self._cas[i],
+                self._pre[i], self._ract[i])
+
+
 class Bank:
     """One DRAM bank: open row + command readiness times (picoseconds)."""
 

@@ -17,6 +17,17 @@ Issue model (shared by every controller design):
   constraint)``;
 * the bank and bus state are updated and the completion time returned.
 
+Bank state is stored **struct-of-arrays**: five parallel ``list[int]``
+columns (``open_rows`` with ``-1`` = closed, ``act_times``, ``ready_cas``,
+``ready_pre``, ``ready_act``), one slot per bank, so the issue/estimate
+hot paths are list index arithmetic with no per-bank objects.  The
+semantics are exactly :class:`repro.dram.bank.Bank`'s (the standalone
+reference state machine, which the property tests and the perf harness's
+object-model baseline still run); ``banks`` exposes one
+:class:`~repro.dram.bank.BankView` proxy per bank for the naive reference
+selectors and tests.  The columns are mutated strictly in place — never
+rebound — so the views stay live across ``restore_state``.
+
 This class is the ``fidelity="burst"`` substrate model — the default, and
 the hot path every controller comparison runs on.  It implements the
 :class:`repro.dram.substrate.Substrate` protocol; the command-level model
@@ -29,7 +40,7 @@ from __future__ import annotations
 from typing import Any, ClassVar
 
 from repro.config import DRAMOrganization, DRAMTimings
-from repro.dram.bank import Bank, ROW_CLOSED, ROW_HIT, RowState
+from repro.dram.bank import BankView, ROW_CLOSED, ROW_CONFLICT, ROW_HIT, RowState
 from repro.dram.stats import ChannelStats
 
 __all__ = ["Channel", "RowState"]
@@ -43,9 +54,13 @@ _DIR_WRITE = 2
 class Channel:
     """One channel: ``ranks_per_channel * banks_per_rank`` banks + data bus."""
 
-    __slots__ = ("timings", "org", "banks", "bus_free", "bus_dir", "stats",
+    __slots__ = ("timings", "org", "nbanks", "open_rows", "act_times",
+                 "ready_cas", "ready_pre", "ready_act", "banks",
+                 "bus_free", "bus_dir", "stats",
                  "_last_read_end", "_last_write_end", "_last_rank", "_gen",
-                 "_est_memo", "_est_gen")
+                 "_est_memo", "_est_gen", "_bpr",
+                 "_tCAS", "_tRCD", "_tRP", "_tRAS", "_tRTP", "_tWR",
+                 "_tBURST", "_tRTW", "_tWTR", "_tCS")
 
     #: substrate fidelity this model implements (see SubstrateConfig)
     fidelity: ClassVar[str] = "burst"
@@ -54,8 +69,37 @@ class Channel:
                  stats: ChannelStats | None = None):
         self.timings = timings
         self.org = org
+        # Timing scalars flattened into slots: every issue/estimate reads
+        # several of them, and a slot load beats the two-hop dataclass
+        # attribute chase in the inner loop.
+        self._tCAS = timings.tCAS
+        self._tRCD = timings.tRCD
+        self._tRP = timings.tRP
+        self._tRAS = timings.tRAS
+        self._tRTP = timings.tRTP
+        self._tWR = timings.tWR
+        self._tBURST = timings.tBURST
+        self._tRTW = timings.tRTW
+        self._tWTR = timings.tWTR
+        self._tCS = timings.tCS
+        self._bpr = org.banks_per_rank
         nbanks = org.ranks_per_channel * org.banks_per_rank
-        self.banks = [Bank(timings) for _ in range(nbanks)]
+        self.nbanks = nbanks
+        # Struct-of-arrays bank state: parallel int columns, one slot per
+        # bank.  ``-1`` encodes "no open row" (real row ids are >= 0, so
+        # the schedulers' ``access.row == open_rows[i]`` hit test needs no
+        # None check).  Mutated in place only — the BankView proxies and
+        # any outstanding references stay coherent.
+        self.open_rows: list[int] = [-1] * nbanks
+        self.act_times: list[int] = [0] * nbanks
+        self.ready_cas: list[int] = [0] * nbanks
+        self.ready_pre: list[int] = [0] * nbanks
+        self.ready_act: list[int] = [0] * nbanks
+        #: per-bank object views for reference paths and tests (the hot
+        #: paths index the columns directly and never touch these)
+        self.banks = [BankView(self.open_rows, self.act_times,
+                               self.ready_cas, self.ready_pre,
+                               self.ready_act, i) for i in range(nbanks)]
         self.bus_free: int = 0          # end of the last burst
         self.bus_dir: int = _DIR_NONE
         self._last_read_end: int = 0
@@ -76,11 +120,14 @@ class Channel:
     # -- queries (no mutation) ------------------------------------------------
 
     def bank_index(self, rank: int, bank: int) -> int:
-        return rank * self.org.banks_per_rank + bank
+        return rank * self._bpr + bank
 
     def row_state(self, rank: int, bank: int, row: int) -> RowState:
         """Row-buffer state an access to (rank, bank, row) would see now."""
-        return RowState(self.banks[self.bank_index(rank, bank)].row_state(row))
+        orow = self.open_rows[rank * self._bpr + bank]
+        if orow < 0:
+            return RowState(ROW_CLOSED)
+        return RowState(ROW_HIT) if orow == row else RowState(ROW_CONFLICT)
 
     def estimate_burst_start(self, rank: int, bank: int, row: int,
                              is_write: bool, now: int) -> int:
@@ -109,10 +156,18 @@ class Channel:
     def _estimate_uncached(self, rank: int, bank: int, row: int,
                            is_write: bool, now: int) -> int:
         """Fidelity-specific estimate (overridden by the command model)."""
-        b = self.banks[self.bank_index(rank, bank)]
-        cas = b.earliest_cas(row, now)
-        return self._bus_constrained_start(cas + self.timings.tCAS, is_write,
-                                           rank)
+        idx = rank * self._bpr + bank
+        orow = self.open_rows[idx]
+        if orow == row:
+            rc = self.ready_cas[idx]
+            cas = now if now >= rc else rc
+        elif orow < 0:
+            ra = self.ready_act[idx]
+            cas = (now if now >= ra else ra) + self._tRCD
+        else:
+            rp = self.ready_pre[idx]
+            cas = (now if now >= rp else rp) + self._tRP + self._tRCD
+        return self._bus_constrained_start(cas + self._tCAS, is_write, rank)
 
     def _bus_constrained_start(self, data_ready: int, is_write: bool,
                                rank: int = -1) -> int:
@@ -124,17 +179,22 @@ class Channel:
         (gem5's different-rank bus delay).  Pure — the estimate paths
         call this too, so it only *reads* ``_last_rank``.
         """
-        t = self.timings
-        start = max(data_ready, self.bus_free)
+        bus_free = self.bus_free
+        start = data_ready if data_ready >= bus_free else bus_free
         if is_write:
             if self.bus_dir == _DIR_READ:
-                start = max(start, self._last_read_end + t.tRTW)
-        else:
-            if self.bus_dir == _DIR_WRITE:
-                start = max(start, self._last_write_end + t.tWTR)
-        if (t.tCS and rank >= 0 and self._last_rank >= 0
+                gated = self._last_read_end + self._tRTW
+                if gated > start:
+                    start = gated
+        elif self.bus_dir == _DIR_WRITE:
+            gated = self._last_write_end + self._tWTR
+            if gated > start:
+                start = gated
+        if (self._tCS and rank >= 0 and self._last_rank >= 0
                 and rank != self._last_rank):
-            start = max(start, self.bus_free + t.tCS)
+            gated = bus_free + self._tCS
+            if gated > start:
+                start = gated
         return start
 
     # -- commit ---------------------------------------------------------------
@@ -147,16 +207,27 @@ class Channel:
         been fully transferred — the completion time a request state machine
         should wait on.
         """
-        b = self.banks[self.bank_index(rank, bank)]
-        state = b.row_state(row)
-        start, end = self._place_and_commit(b, rank, row,
-                                            b.earliest_cas(row, now),
-                                            is_write)
+        idx = rank * self._bpr + bank
+        orow = self.open_rows[idx]
+        if orow == row:
+            state = ROW_HIT
+            rc = self.ready_cas[idx]
+            cas = now if now >= rc else rc
+        elif orow < 0:
+            state = ROW_CLOSED
+            ra = self.ready_act[idx]
+            cas = (now if now >= ra else ra) + self._tRCD
+        else:
+            state = ROW_CONFLICT
+            rp = self.ready_pre[idx]
+            cas = (now if now >= rp else rp) + self._tRP + self._tRCD
+        start, end = self._place_and_commit(idx, rank, row, cas, is_write,
+                                            state)
         self._account_issue(state, end, is_write)
         return start, end
 
-    def _place_and_commit(self, b: Bank, rank: int, row: int, cas: int,
-                          is_write: bool) -> tuple[int, int]:
+    def _place_and_commit(self, idx: int, rank: int, row: int, cas: int,
+                          is_write: bool, state: int) -> tuple[int, int]:
         """Place the burst for an earliest-CAS plan and commit the bank.
 
         The one burst-placement rule both fidelities share: bus/turnaround
@@ -164,12 +235,31 @@ class Channel:
         and the effective CAS is back-dated so bank bookkeeping
         (tRTP/tWR windows) lines up with the actual burst position on
         the bus.  Rank bookkeeping lives here — the only commit point —
-        so the estimate paths stay pure.
+        so the estimate paths stay pure.  ``state`` is the row state the
+        caller classified *before* planning (Bank.commit's internal
+        re-classification, inlined).
         """
-        t = self.timings
-        start = self._bus_constrained_start(cas + t.tCAS, is_write, rank)
-        end = start + t.tBURST
-        b.commit(row, start - t.tCAS, is_write, end)
+        start = self._bus_constrained_start(cas + self._tCAS, is_write, rank)
+        end = start + self._tBURST
+        cas_time = start - self._tCAS
+        if state != ROW_HIT:
+            # We activated (and possibly precharged).  The ACT time is
+            # bound by cas_time - tRCD; reconstruct it for tRAS accounting.
+            self.act_times[idx] = cas_time - self._tRCD
+            self.open_rows[idx] = row
+            self.ready_cas[idx] = cas_time
+        # CAS-to-CAS on the same row: back-to-back bursts are gated by the
+        # channel bus, not the bank, in this model.
+        pre_ok = self.act_times[idx] + self._tRAS
+        alt = (end + self._tWR) if is_write else (cas_time + self._tRTP)
+        if alt > pre_ok:
+            pre_ok = alt
+        ready_pre = self.ready_pre
+        if pre_ok > ready_pre[idx]:
+            ready_pre[idx] = pre_ok
+        # Next ACT can only follow the next PRE; maintained when PRE happens
+        # implicitly on a conflict.  Approximate by deriving from ready_pre.
+        self.ready_act[idx] = ready_pre[idx] + self._tRP
         if self._last_rank >= 0 and rank != self._last_rank:
             self.stats.rank_switches += 1
         self._last_rank = rank
@@ -182,7 +272,6 @@ class Channel:
         make substrate models comparable, so subclasses reuse this tail
         verbatim and only differ in how the burst start was derived.
         """
-        t = self.timings
         self._gen += 1
         new_dir = _DIR_WRITE if is_write else _DIR_READ
         if self.bus_dir != _DIR_NONE and self.bus_dir != new_dir:
@@ -193,7 +282,7 @@ class Channel:
             self._last_write_end = end
         else:
             self._last_read_end = end
-        self.stats.bus_busy_ps += t.tBURST
+        self.stats.bus_busy_ps += self._tBURST
 
         # Row-state + access-type stats.
         s = self.stats
@@ -224,28 +313,50 @@ class Channel:
 
         Comparable across independent copies — two channels with equal
         captures will time every future access identically.  Subclasses
-        extend the dict with their own state under new keys.
+        extend the dict with their own state under new keys.  Per-bank
+        entries keep the historical :class:`~repro.dram.bank.Bank` tuple
+        layout (``open_row`` as ``None`` when closed), so captures are
+        interchangeable between the SoA store and the object reference
+        model and pre-SoA snapshot files restore unchanged.
         """
+        orows = self.open_rows
+        acts = self.act_times
+        cass = self.ready_cas
+        pres = self.ready_pre
+        racts = self.ready_act
         return {
             "bus": (self.bus_free, self.bus_dir,
                     self._last_read_end, self._last_write_end,
                     self._last_rank),
-            "banks": [b.capture() for b in self.banks],
+            "banks": [(orows[i] if orows[i] >= 0 else None, acts[i],
+                       cass[i], pres[i], racts[i])
+                      for i in range(self.nbanks)],
         }
 
     def restore_state(self, state: dict[str, Any]) -> None:
         """Adopt a :meth:`capture_state` image.
 
         Atomic: validation happens before any mutation, so a rejected
-        image leaves the channel exactly as it was.
+        image leaves the channel exactly as it was.  The columns are
+        written element-wise in place, keeping every outstanding
+        BankView/column reference live.
         """
-        if len(state["banks"]) != len(self.banks):
+        if len(state["banks"]) != self.nbanks:
             raise ValueError(
                 f"bank count mismatch: captured {len(state['banks'])}, "
-                f"channel has {len(self.banks)}")
+                f"channel has {self.nbanks}")
         (self.bus_free, self.bus_dir,
          self._last_read_end, self._last_write_end,
          self._last_rank) = state["bus"]
-        for b, vals in zip(self.banks, state["banks"]):
-            b.restore(vals)
+        orows = self.open_rows
+        acts = self.act_times
+        cass = self.ready_cas
+        pres = self.ready_pre
+        racts = self.ready_act
+        for i, (orow, act, cas, pre, ract) in enumerate(state["banks"]):
+            orows[i] = -1 if orow is None else orow
+            acts[i] = act
+            cass[i] = cas
+            pres[i] = pre
+            racts[i] = ract
         self._gen += 1

@@ -30,6 +30,12 @@ precharges a row once it has idled for ``page_timeout_ps``.  Policy
 closes are counted (``policy_closes``) and show up upstream as row-closed
 instead of row-hit/conflict accesses.
 
+All rank/bank timing state is struct-of-arrays like the base channel:
+the refresh sync, the scratch capture/rollback the pure estimates run,
+and the tFAW window checks operate on flat int lists (the per-rank ACT
+history is a bounded ``list[int]``, oldest first — the capture format it
+serializes to is unchanged).
+
 Determinism: lazy state advances happen only at commits, are monotone in
 simulated time, and the simulator's ``now`` never decreases — so every
 committed time and every counter is a pure function of the issue
@@ -39,16 +45,20 @@ any outcome (pinned by tests/test_substrate.py).
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any, ClassVar
 
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
-from repro.dram.bank import ROW_CLOSED, ROW_HIT, Bank, BankState
+from repro.dram.bank import ROW_CLOSED, ROW_CONFLICT, ROW_HIT
 from repro.dram.channel import Channel
 from repro.dram.stats import CommandChannelStats, RankStats
 
 #: ACTs admitted per rank inside one tFAW window (JEDEC four-activate).
 FAW_DEPTH = 4
+
+#: Scratch image of everything ``_sync_rank`` may touch: the rank's five
+#: bank-state column slices plus (refresh_due, blackout_end).
+_RankScratch = tuple[list[int], list[int], list[int], list[int], list[int],
+                     int, int]
 
 
 class CommandChannel(Channel):
@@ -56,7 +66,8 @@ class CommandChannel(Channel):
 
     __slots__ = ("substrate", "rank_groups", "_page_policy", "_page_timeout",
                  "_refresh_on", "_act_history", "_refresh_due",
-                 "_blackout_end", "_bank_last_end")
+                 "_blackout_end", "_bank_last_end", "_tREFI", "_tRFC",
+                 "_tRRD", "_tFAW")
 
     fidelity: ClassVar[str] = "command"
 
@@ -78,21 +89,26 @@ class CommandChannel(Channel):
         self._page_policy = sub.page_policy
         self._page_timeout = sub.page_timeout_ps
         self._refresh_on = bool(sub.refresh) and timings.tREFI > 0
+        self._tREFI = timings.tREFI
+        self._tRFC = timings.tRFC
+        self._tRRD = timings.tRRD
+        self._tFAW = timings.tFAW
         nranks = org.ranks_per_channel
         #: per-rank counter groups (activation pressure, refresh debt,
         #: throttling attribution); the owning device registers them in
         #: its metrics tree when the rank dimension is real (nranks > 1)
         self.rank_groups: list[RankStats] = [RankStats()
                                              for _ in range(nranks)]
-        #: last FAW_DEPTH effective ACT times per rank (oldest first)
-        self._act_history: list[deque[int]] = [deque(maxlen=FAW_DEPTH)
-                                          for _ in range(nranks)]
+        #: last FAW_DEPTH effective ACT times per rank (oldest first);
+        #: bounded plain lists — trimmed on append — not deques, so the
+        #: two-element window checks stay C-level list indexing
+        self._act_history: list[list[int]] = [[] for _ in range(nranks)]
         #: next refresh due time per rank
         self._refresh_due = [timings.tREFI] * nranks
         #: end of the rank's current/most recent tRFC blackout
         self._blackout_end = [0] * nranks
         #: burst end of each bank's last access (timeout page policy)
-        self._bank_last_end = [0] * len(self.banks)
+        self._bank_last_end = [0] * self.nbanks
 
     # ------------------------------------------------------------ lazy state
 
@@ -108,20 +124,24 @@ class CommandChannel(Channel):
         *issue* sequence alone).
         """
         if self._refresh_on:
-            t = self.timings
             due = self._refresh_due[rank]
             if due <= now:
-                base = rank * self.org.banks_per_rank
-                banks = self.banks[base:base + self.org.banks_per_rank]
+                tREFI = self._tREFI
+                tRFC = self._tRFC
+                bpr = self._bpr
+                base = rank * bpr
+                lim = base + bpr
+                open_rows = self.open_rows
+                pres = self.ready_pre
                 blackout = self._blackout_end[rank]
                 s = self.stats
                 rs = self.rank_groups[rank]
                 while due <= now:
-                    start = max(due, blackout)
+                    start = due if due >= blackout else blackout
                     # All banks must be precharged: a rank still row-active
                     # past the due time postpones the refresh behind its
                     # earliest legal PRE.
-                    pre_ready = max(b.ready_pre for b in banks)
+                    pre_ready = max(pres[base:lim])
                     if pre_ready > start:
                         start = pre_ready
                     if start == due:
@@ -131,20 +151,20 @@ class CommandChannel(Channel):
                         # past it), so the tail collapses to arithmetic:
                         # a long-idle rank catches up in O(1) instead of
                         # O(elapsed / tREFI) loop iterations.
-                        k = (now - due) // t.tREFI + 1
+                        k = (now - due) // tREFI + 1
                         if account:
                             s.refreshes_issued += k
                             rs.refreshes_issued += k
-                        due += k * t.tREFI
-                        blackout = due - t.tREFI + t.tRFC
-                        for b in banks:
-                            b.open_row = None
+                        due += k * tREFI
+                        blackout = due - tREFI + tRFC
+                        for i in range(base, lim):
+                            open_rows[i] = -1
                             # ready_act is deliberately NOT raised (here
                             # or below): the blackout gates ACTs through
                             # _rank_act_bound, so the delay is attributed
                             # as refresh_stalls.
-                            if blackout > b.ready_pre:
-                                b.ready_pre = blackout
+                            if blackout > pres[i]:
+                                pres[i] = blackout
                         break
                     if account:
                         # Postponed for *any* reason — row activity or the
@@ -153,42 +173,48 @@ class CommandChannel(Channel):
                         s.refreshes_issued += 1
                         rs.refreshes_postponed += 1
                         rs.refreshes_issued += 1
-                    blackout = start + t.tRFC
-                    for b in banks:
-                        b.open_row = None
-                        if blackout > b.ready_pre:
-                            b.ready_pre = blackout
-                    due += t.tREFI
+                    blackout = start + tRFC
+                    for i in range(base, lim):
+                        open_rows[i] = -1
+                        if blackout > pres[i]:
+                            pres[i] = blackout
+                    due += tREFI
                 self._refresh_due[rank] = due
                 self._blackout_end[rank] = blackout
         if self._page_policy == "timeout":
-            b = self.banks[bank_idx]
-            if b.open_row is not None:
+            if self.open_rows[bank_idx] >= 0:
                 # The PRE fires once the row has idled for the timeout —
                 # but never before it is legal (tRAS/tRTP/tWR composition).
-                pre_at = max(self._bank_last_end[bank_idx]
-                             + self._page_timeout, b.ready_pre)
+                pre_at = self._bank_last_end[bank_idx] + self._page_timeout
+                ready = self.ready_pre[bank_idx]
+                if ready > pre_at:
+                    pre_at = ready
                 if pre_at <= now:
-                    b.open_row = None
-                    nxt = pre_at + self.timings.tRP
-                    if nxt > b.ready_act:
-                        b.ready_act = nxt
+                    self.open_rows[bank_idx] = -1
+                    nxt = pre_at + self._tRP
+                    if nxt > self.ready_act[bank_idx]:
+                        self.ready_act[bank_idx] = nxt
                     if account:
                         self.stats.policy_closes += 1
 
-    def _capture_rank(self, rank: int) -> tuple[list[BankState], int, int]:
+    def _capture_rank(self, rank: int) -> _RankScratch:
         """Scratch image of everything :meth:`_sync_rank` may touch."""
-        base = rank * self.org.banks_per_rank
-        return ([self.banks[base + i].capture()
-                 for i in range(self.org.banks_per_rank)],
+        base = rank * self._bpr
+        lim = base + self._bpr
+        return (self.open_rows[base:lim], self.act_times[base:lim],
+                self.ready_cas[base:lim], self.ready_pre[base:lim],
+                self.ready_act[base:lim],
                 self._refresh_due[rank], self._blackout_end[rank])
 
-    def _restore_rank(self, rank: int,
-                      saved: tuple[list[BankState], int, int]) -> None:
-        base = rank * self.org.banks_per_rank
-        bank_states, due, blackout = saved
-        for i, state in enumerate(bank_states):
-            self.banks[base + i].restore(state)
+    def _restore_rank(self, rank: int, saved: _RankScratch) -> None:
+        base = rank * self._bpr
+        lim = base + self._bpr
+        orows, acts, cass, pres, racts, due, blackout = saved
+        self.open_rows[base:lim] = orows
+        self.act_times[base:lim] = acts
+        self.ready_cas[base:lim] = cass
+        self.ready_pre[base:lim] = pres
+        self.ready_act[base:lim] = racts
         self._refresh_due[rank] = due
         self._blackout_end[rank] = blackout
 
@@ -199,16 +225,15 @@ class CommandChannel(Channel):
         none, 1 for tRRD, 2 for tFAW, 3 for a refresh blackout (the
         *latest*-binding constraint wins the attribution).
         """
-        t = self.timings
         binding = 0
         hist = self._act_history[rank]
         if hist:
-            if t.tRRD:
-                gated = hist[-1] + t.tRRD
+            if self._tRRD:
+                gated = hist[-1] + self._tRRD
                 if gated > act:
                     act, binding = gated, 1
-            if t.tFAW and len(hist) == FAW_DEPTH:
-                gated = hist[0] + t.tFAW
+            if self._tFAW and len(hist) == FAW_DEPTH:
+                gated = hist[0] + self._tFAW
                 if gated > act:
                     act, binding = gated, 2
         blackout = self._blackout_end[rank]
@@ -216,23 +241,25 @@ class CommandChannel(Channel):
             act, binding = blackout, 3
         return act, binding
 
-    def _earliest_cas(self, b: Bank, rank: int, row: int,
+    def _earliest_cas(self, idx: int, rank: int, row: int,
                       now: int) -> tuple[int, int]:
         """Rank-constrained CAS time; returns ``(cas, binding)``.
 
         ``binding`` (see :meth:`_rank_act_bound`) is nonzero when a rank
         constraint, not the bank, delayed the activation.
         """
-        t = self.timings
-        state = b.row_state(row)
-        if state == ROW_HIT:
-            return max(now, b.ready_cas), 0
-        if state == ROW_CLOSED:
-            act = max(now, b.ready_act)
+        orow = self.open_rows[idx]
+        if orow == row:
+            rc = self.ready_cas[idx]
+            return (now if now >= rc else rc), 0
+        if orow < 0:
+            ra = self.ready_act[idx]
+            act = now if now >= ra else ra
         else:
-            act = max(now, b.ready_pre) + t.tRP
+            rp = self.ready_pre[idx]
+            act = (now if now >= rp else rp) + self._tRP
         act, binding = self._rank_act_bound(rank, act)
-        return act + t.tRCD, binding
+        return act + self._tRCD, binding
 
     # ------------------------------------------------------------- protocol
 
@@ -248,32 +275,39 @@ class CommandChannel(Channel):
         ``estimate_burst_start`` wrapper lives on the base channel; the
         capture/sync/rollback here is exactly the work worth caching.
         """
-        idx = self.bank_index(rank, bank)
+        idx = rank * self._bpr + bank
         saved = self._capture_rank(rank)
         self._sync_rank(rank, idx, now, account=False)
-        cas, _ = self._earliest_cas(self.banks[idx], rank, row, now)
-        start = self._bus_constrained_start(cas + self.timings.tCAS, is_write,
-                                            rank)
+        cas, _ = self._earliest_cas(idx, rank, row, now)
+        start = self._bus_constrained_start(cas + self._tCAS, is_write, rank)
         self._restore_rank(rank, saved)
         return start
 
     def issue(self, rank: int, bank: int, row: int, is_write: bool,
               now: int) -> tuple[int, int]:
         """Commit an access under rank constraints; ``(start, end)``."""
-        t = self.timings
-        idx = self.bank_index(rank, bank)
+        idx = rank * self._bpr + bank
         self._sync_rank(rank, idx, now)
-        b = self.banks[idx]
-        state = b.row_state(row)
+        orow = self.open_rows[idx]
+        if orow == row:
+            state = ROW_HIT
+        elif orow < 0:
+            state = ROW_CLOSED
+        else:
+            state = ROW_CONFLICT
 
-        cas, binding = self._earliest_cas(b, rank, row, now)
-        start, end = self._place_and_commit(b, rank, row, cas, is_write)
+        cas, binding = self._earliest_cas(idx, rank, row, now)
+        start, end = self._place_and_commit(idx, rank, row, cas, is_write,
+                                            state)
 
         if state != ROW_HIT:
             # Effective ACT: back-dated like the CAS, so the recorded
             # window is consistent with the bank's tRAS bookkeeping and
             # never earlier than the constrained plan.
-            self._act_history[rank].append(start - t.tCAS - t.tRCD)
+            hist = self._act_history[rank]
+            if len(hist) == FAW_DEPTH:
+                del hist[0]
+            hist.append(start - self._tCAS - self._tRCD)
             rs = self.rank_groups[rank]
             rs.acts += 1
             if binding == 1:
@@ -286,10 +320,10 @@ class CommandChannel(Channel):
                 self.stats.refresh_stalls += 1
                 rs.refresh_stalls += 1
 
-        if self._page_policy == "closed" and b.open_row is not None:
-            # Auto-precharge: Bank.commit already advanced ready_pre /
+        if self._page_policy == "closed" and self.open_rows[idx] >= 0:
+            # Auto-precharge: the commit already advanced ready_pre /
             # ready_act for the implicit PRE; only the row closes here.
-            b.open_row = None
+            self.open_rows[idx] = -1
             self.stats.policy_closes += 1
         self._bank_last_end[idx] = end
 
@@ -322,14 +356,16 @@ class CommandChannel(Channel):
         if (len(cmd["act_history"]) != nranks
                 or len(cmd["refresh_due"]) != nranks
                 or len(cmd["blackout_end"]) != nranks
-                or len(cmd["bank_last_end"]) != len(self.banks)):
+                or len(cmd["bank_last_end"]) != self.nbanks):
             raise ValueError(
                 f"rank/bank structure mismatch: captured "
                 f"{len(cmd['refresh_due'])} ranks / "
                 f"{len(cmd['bank_last_end'])} banks, channel has "
-                f"{nranks} ranks / {len(self.banks)} banks")
+                f"{nranks} ranks / {self.nbanks} banks")
         super().restore_state(state)
-        self._act_history = [deque(h, maxlen=FAW_DEPTH)
+        # Keep only the newest FAW_DEPTH entries, exactly as the bounded
+        # window would (captures never exceed the depth anyway).
+        self._act_history = [list(h)[-FAW_DEPTH:]
                              for h in cmd["act_history"]]
         self._refresh_due = list(cmd["refresh_due"])
         self._blackout_end = list(cmd["blackout_end"])

@@ -5,7 +5,8 @@ snapshot layer — consumes a channel through one narrow surface, the
 :class:`Substrate` protocol:
 
 * ``row_state`` / ``estimate_burst_start`` — pure scheduling queries
-  (plus direct reads of ``banks[i].open_row`` on the scheduler hot path);
+  (plus direct reads of the ``open_rows`` struct-of-arrays column on the
+  scheduler hot path, ``-1`` = closed);
 * ``issue`` — commit one access, returning ``(burst_start, burst_end)``;
 * ``reset_stats`` — warm-up boundary;
 * ``capture_state`` / ``restore_state`` — value-only timing-state images
@@ -34,7 +35,7 @@ from __future__ import annotations
 from typing import Any, Protocol, runtime_checkable
 
 from repro.config import DRAMOrganization, DRAMTimings, SubstrateConfig
-from repro.dram.bank import Bank, RowState
+from repro.dram.bank import BankView, RowState
 from repro.dram.channel import Channel
 from repro.dram.command import CommandChannel
 from repro.dram.stats import ChannelStats
@@ -46,12 +47,15 @@ class Substrate(Protocol):
 
     Structural: any object with these members is a substrate.  The two
     shipped models share :class:`~repro.dram.channel.Channel`'s bus core,
-    but a foreign implementation only needs this surface plus the
-    ``banks`` list (``open_row`` / ``row_state`` per bank) the scheduler
-    fast paths read directly.
+    but a foreign implementation only needs this surface plus two bank
+    views of the same state: the ``open_rows`` struct-of-arrays column
+    (one ``int`` per bank, ``-1`` = closed) the scheduler fast paths
+    index directly, and the ``banks`` object list (``open_row`` /
+    ``row_state`` per bank) the naive reference selectors read.
     """
 
-    banks: list[Bank]
+    open_rows: list[int]
+    banks: list[BankView]
     bus_free: int
     stats: ChannelStats
 

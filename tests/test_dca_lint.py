@@ -59,11 +59,11 @@ def test_fixture_findings_match_markers(path):
 
 
 def test_fixture_suite_is_meaningful():
-    """At least one positive fixture per per-module rule R1..R5."""
+    """At least one positive fixture per per-module rule R1..R5, R7."""
     fired = set()
     for path in FIXTURE_FILES:
         fired |= {rule for _, rule in expected_findings(path)}
-    assert {"R1", "R2", "R3", "R4", "R5"} <= fired
+    assert {"R1", "R2", "R3", "R4", "R5", "R7"} <= fired
 
 
 # --- package scoping ------------------------------------------------------
@@ -250,7 +250,7 @@ def test_cli_list_rules():
     rc = main(["--list-rules"], stdout=out)
     assert rc == 0
     text = out.getvalue()
-    for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
+    for rid in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
         assert rid in text
 
 

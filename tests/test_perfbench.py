@@ -1,6 +1,8 @@
 """Perf harness: scenario equivalence, result structure, BENCH emission."""
 
+import importlib.util
 import json
+from pathlib import Path
 
 import pytest
 
@@ -10,6 +12,8 @@ from repro.bench.decision_loop import (
     verify_equivalence,
 )
 from repro.bench.harness import BENCH_SCHEMA_VERSION, run_perf
+
+REPO_ROOT = Path(__file__).parent.parent
 
 
 class TestEquivalence:
@@ -86,3 +90,58 @@ class TestSubstrateLoop:
         data = json.loads(path.read_text())
         assert data["sections"] == ["substrate"]
         assert "end_to_end" not in data
+
+
+def _load_check_floor():
+    path = REPO_ROOT / "benchmarks" / "perf" / "check_floor.py"
+    spec = importlib.util.spec_from_file_location("check_floor", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCheckFloor:
+    """The CI regression gate: floors, ceilings, missing metrics."""
+
+    FLOOR = {
+        "metrics": {"a.speedup": 2.0},
+        "ceilings": {"b.overhead_x": 1.5},
+    }
+
+    def _check(self, bench, tolerance=0.15):
+        return _load_check_floor().check(bench, self.FLOOR, tolerance)
+
+    def test_all_within_reference_passes(self):
+        assert self._check(
+            {"a": {"speedup": 2.1}, "b": {"overhead_x": 1.4}}) == []
+
+    def test_tolerance_band_is_two_sided(self):
+        # Floors allow a drop inside tolerance; ceilings a rise.
+        assert self._check(
+            {"a": {"speedup": 1.75}, "b": {"overhead_x": 1.7}}) == []
+
+    def test_floor_violation_fails(self):
+        fails = self._check({"a": {"speedup": 1.5}, "b": {"overhead_x": 1.0}})
+        assert len(fails) == 1 and "a.speedup" in fails[0]
+
+    def test_ceiling_violation_fails(self):
+        fails = self._check({"a": {"speedup": 2.5}, "b": {"overhead_x": 2.0}})
+        assert len(fails) == 1 and "b.overhead_x" in fails[0]
+
+    def test_missing_metric_fails_both_kinds(self):
+        fails = self._check({})
+        assert len(fails) == 2
+        assert all("missing" in f for f in fails)
+
+    def test_committed_floor_file_is_well_formed(self):
+        floor = json.loads(
+            (REPO_ROOT / "benchmarks" / "perf" / "floor.json").read_text())
+        assert set(floor) >= {"schema_version", "tolerance", "metrics"}
+        for ref in floor["metrics"].values():
+            assert ref > 0
+        for ref in floor.get("ceilings", {}).values():
+            assert ref > 0
+        # The gate guards every harness section that pins a ratio.
+        guarded = {m.split(".")[0]
+                   for m in (*floor["metrics"], *floor.get("ceilings", {}))}
+        assert {"decision_loop", "topology", "compiled"} <= guarded
